@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper, prints
+its rows, and writes them to ``results/<artifact>.txt`` so a run leaves
+artifacts behind.  Absolute numbers are not expected to match the
+paper's testbed; assertions check the *shape* (who wins, rough factors,
+where crossovers fall).
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to results/{name}.txt]")

@@ -1,0 +1,42 @@
+"""Figure 10: evolution of OFC's total cache size over time."""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.bench.macro import run_macro
+from repro.bench.reporting import format_table
+from repro.sim.latency import GB
+from repro.workloads.faasload import TenantProfile
+
+
+def test_fig10_cache_size(benchmark):
+    result = benchmark.pedantic(
+        run_macro,
+        args=("ofc", TenantProfile.NORMAL),
+        kwargs={"duration_s": 900.0},
+        rounds=1,
+        iterations=1,
+    )
+    series = result.cache_series
+    assert len(series) > 10
+    # Downsample to one row per minute for the artifact.
+    rows = []
+    next_minute = 0.0
+    for t, size in series:
+        if t >= next_minute:
+            rows.append((round(t / 60.0, 1), size / GB))
+            next_minute = t + 60.0
+    table = format_table(
+        ["minute", "cache size (GB)"],
+        rows,
+        title="Figure 10 — OFC cache size over time (normal profile)",
+    )
+    save_result("fig10_cache_size", table)
+    sizes = np.array([s for _t, s in series], dtype=float)
+    total_node_memory = 4 * 16384 * 1024 * 1024
+    # The cache always occupies a large share of the cluster...
+    assert sizes.min() > 0.5 * total_node_memory
+    # ...but never exceeds what the nodes have.
+    assert sizes.max() <= total_node_memory
+    # And it breathes: sandbox churn makes the size fluctuate.
+    assert sizes.max() - sizes.min() > 1 * GB

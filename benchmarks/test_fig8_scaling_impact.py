@@ -1,0 +1,66 @@
+"""Figure 8: impact of cache scaling on wand_sepia's latency."""
+
+from benchmarks.conftest import save_result
+from repro.bench.fig8 import migration_time_sweep, run_fig8
+from repro.bench.reporting import format_table
+from repro.sim.latency import KB
+
+
+def test_fig8_scaling_impact(benchmark):
+    sizes = (1 * KB, 16 * KB, 1024 * KB, 3072 * KB)
+    rows = benchmark.pedantic(
+        run_fig8, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scenario", "size (kB)", "scaling (ms)", "cgroup (ms)", "exec (ms)"],
+        [
+            (
+                r.scenario,
+                r.input_size // 1024,
+                r.scaling_time_s * 1e3,
+                r.cgroup_sys_time_s * 1e3,
+                r.exec_time_s * 1e3,
+            )
+            for r in rows
+        ],
+        title="Figure 8 — cache-scaling impact on wand_sepia",
+    )
+    save_result("fig8_scaling_impact", table)
+    by = {(r.scenario, r.input_size): r for r in rows}
+    # Sc0 never scales the cache down.
+    for size in sizes:
+        assert by[("Sc0", size)].scaling_time_s == 0.0
+    # Sc1 (plain) stays in the hundreds of microseconds (paper: 289 us).
+    for size in sizes:
+        assert 0 < by[("Sc1", size)].scaling_time_s < 3e-3
+    # Sc2 (migration) appears for the large inputs and costs single-digit
+    # milliseconds that grow with the migrated volume (paper: 0.4-2.2 ms).
+    big = by[("Sc2", 3072 * KB)]
+    assert big.migrated
+    assert 0.3e-3 < big.scaling_time_s < 20e-3
+    # Sc3 (eviction, no migration target) stays near the plain cost
+    # (paper: 373 us).
+    sc3 = by[("Sc3", 3072 * KB)]
+    assert sc3.evicted and not sc3.migrated
+    assert sc3.scaling_time_s < 5e-3
+    # The cgroup/docker update dominates the scaling overhead (~24 ms)
+    # and execution time is essentially unaffected by the scenario.
+    for size in sizes:
+        base = by[("Sc0", size)].exec_time_s
+        for scenario in ("Sc1", "Sc2", "Sc3"):
+            assert abs(by[(scenario, size)].exec_time_s - base) < 0.6 * base
+
+
+def test_migration_time_ladder(benchmark):
+    ladder = benchmark.pedantic(migration_time_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["migrated (MB)", "time (ms)", "paper (ms)"],
+        [
+            (mb, seconds * 1e3, paper)
+            for (mb, seconds), paper in zip(ladder, [0.18, 1.2, 3.8, 7.5, 13.5])
+        ],
+        title="§7.2.1 — master hand-off migration times",
+    )
+    save_result("fig8_migration_ladder", table)
+    for (mb, seconds), paper_ms in zip(ladder, [0.18, 1.2, 3.8, 7.5, 13.5]):
+        assert abs(seconds * 1e3 - paper_ms) / paper_ms < 0.5

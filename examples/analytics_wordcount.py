@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Serverless analytics: MapReduce word count on three deployments.
+
+The pipeline (split -> map over chunks -> reduce) runs on:
+
+* OWK-Swift  — every chunk and map output round-trips the RSDS;
+* OWK-Redis  — a tenant-managed in-memory cache (the serverful fix);
+* OFC        — transparent caching of all intermediate data.
+
+This is the paper's motivating analytics workload (Figures 3b and 7i).
+
+Run:  python examples/analytics_wordcount.py
+"""
+
+import numpy as np
+
+from repro.bench.envs import build_ofc_env, build_owk_redis_env, build_owk_swift_env
+from repro.sim.latency import MB
+from repro.workloads.media import MediaCorpus
+from repro.workloads.pipelines import get_pipeline_app
+
+DOC_SIZE = 20 * MB
+
+
+def run_on_baseline(builder, label: str) -> None:
+    env = builder(seed=3)
+    app = get_pipeline_app("map_reduce")
+    app.register(env.platform, tenant="analytics")
+    corpus = MediaCorpus(np.random.default_rng(3))
+    refs = env.kernel.run_until(
+        env.kernel.process(app.prepare_inputs(env.store, corpus, DOC_SIZE))
+    )
+    record = env.kernel.run_until(
+        env.kernel.process(
+            env.platform.invoke_pipeline(
+                app.pipeline, tenant="analytics", input_refs=refs
+            )
+        )
+    )
+    report(label, record)
+
+
+def run_on_ofc() -> None:
+    ofc = build_ofc_env(seed=3)
+    app = get_pipeline_app("map_reduce")
+    app.register(ofc.platform, tenant="analytics")
+    corpus = MediaCorpus(np.random.default_rng(3))
+    refs = ofc.kernel.run_until(
+        ofc.kernel.process(app.prepare_inputs(ofc.store, corpus, DOC_SIZE))
+    )
+    # First run (cold cache), then a warm run.
+    ofc.invoke_pipeline(app.pipeline, tenant="analytics", input_refs=refs)
+    record = ofc.invoke_pipeline(
+        app.pipeline, tenant="analytics", input_refs=refs
+    )
+    report("OFC (warm)", record)
+    print(
+        f"{'':14s}  ephemeral data buffered: "
+        f"{ofc.rclib_stats.ephemeral_bytes / MB:.0f} MB, "
+        f"intermediates cleaned: "
+        f"{ofc.metrics.intermediate_objects_removed}"
+    )
+
+
+def report(label: str, record) -> None:
+    split = record.phase_split()
+    print(
+        f"{label:14s}  total={record.duration:6.2f}s   "
+        f"E={split.extract:5.2f}s  T={split.transform:5.2f}s  "
+        f"L={split.load:5.2f}s   E+L share={split.el_fraction * 100:4.1f}%"
+    )
+
+
+def main() -> None:
+    print(f"MapReduce word count over a {DOC_SIZE // MB} MB document\n")
+    run_on_baseline(build_owk_swift_env, "OWK-Swift")
+    run_on_baseline(build_owk_redis_env, "OWK-Redis")
+    run_on_ofc()
+    print(
+        "\nOFC approaches the dedicated-IMOC performance without any "
+        "tenant-provisioned cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

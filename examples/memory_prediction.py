@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Watch OFC learn a function's memory footprint.
+
+Streams invocations of ``wand_blur`` through a live OFC deployment and
+prints how the sizing evolves: until the J48 model matures the sandbox
+gets the tenant's booked 512 MB; afterwards it gets the predicted
+interval's upper bound (plus one conservative interval), freeing the
+difference for the cache.
+
+Run:  python examples/memory_prediction.py
+"""
+
+import numpy as np
+
+from repro.core import OFCPlatform
+from repro.faas.records import InvocationRequest
+from repro.sim.latency import KB, MB
+from repro.workloads.functions import get_function_model
+from repro.workloads.media import MediaCorpus
+
+
+def main() -> None:
+    ofc = OFCPlatform(seed=11)
+    ofc.store.create_bucket("inputs")
+    ofc.store.create_bucket("outputs")
+    ofc.start()
+
+    model = get_function_model("wand_blur")
+    ofc.platform.register_function(model.spec(tenant="demo", booked_mb=512))
+
+    corpus = MediaCorpus(np.random.default_rng(2))
+    refs = []
+
+    def upload():
+        for i, size in enumerate([16 * KB, 64 * KB, 256 * KB, 1 * MB]):
+            image = corpus.image(size)
+            name = f"img{i}"
+            yield from ofc.store.put(
+                "inputs", name, image, size=image.size,
+                user_meta=image.features(),
+            )
+            refs.append(f"inputs/{name}")
+
+    ofc.kernel.run_until(ofc.kernel.process(upload()))
+
+    rng = np.random.default_rng(5)
+    wasted_before, wasted_after = [], []
+    print(f"{'#':>4} {'input':>10} {'sigma':>6} {'limit MB':>9} "
+          f"{'peak MB':>8} {'wasted MB':>9}  model")
+    for i in range(140):
+        ref = refs[int(rng.integers(0, len(refs)))]
+        record = ofc.invoke(
+            InvocationRequest(
+                function="wand_blur",
+                tenant="demo",
+                args=model.sample_args(rng),
+                input_ref=ref,
+            )
+        )
+        assert record.status == "ok", record
+        mature = record.predicted_interval is not None
+        (wasted_after if mature else wasted_before).append(
+            record.memory_limit_mb - record.peak_memory_mb
+        )
+        if i < 3 or i % 20 == 0 or (mature and record.retries):
+            print(
+                f"{i + 1:>4} {ref:>10} "
+                f"{record.request.args['sigma']:6.1f} "
+                f"{record.memory_limit_mb:9.0f} {record.peak_memory_mb:8.0f} "
+                f"{record.memory_limit_mb - record.peak_memory_mb:9.0f}  "
+                f"{'mature' if mature else 'learning'}"
+            )
+
+    models = ofc.trainer.models_for("demo/wand_blur")
+    print(f"\nmodel matured after {models.matured_after} invocations")
+    print(f"avg waste while learning (booked sizing): "
+          f"{np.mean(wasted_before):6.0f} MB")
+    if wasted_after:
+        print(f"avg waste with ML sizing:               "
+              f"{np.mean(wasted_after):6.0f} MB")
+        print(
+            "memory returned to the cache per invocation: "
+            f"{np.mean(wasted_before) - np.mean(wasted_after):.0f} MB"
+        )
+    snap = ofc.table2_snapshot()
+    print(
+        f"good predictions: {snap['good_predictions']}, "
+        f"bad: {snap['bad_predictions']}, "
+        f"failed invocations: {snap['failed_invocations']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

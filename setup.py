@@ -1,0 +1,10 @@
+"""Legacy setup entry point.
+
+Kept so that ``pip install -e . --no-use-pep517 --no-build-isolation``
+works on offline machines that lack the ``wheel`` package; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

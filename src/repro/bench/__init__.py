@@ -1,0 +1,32 @@
+"""Experiment drivers for the paper's tables and figures.
+
+Each module reproduces one evaluation artifact; the ``benchmarks/``
+tree wraps these drivers in pytest-benchmark targets, and the
+``examples/`` scripts reuse them for demonstrations.
+
+| Paper artifact | Driver |
+|----------------|--------------------------------------|
+| Figure 2       | :mod:`repro.bench.fig2`              |
+| Figure 3       | :mod:`repro.bench.fig3`              |
+| Table 1        | :mod:`repro.bench.table1`            |
+| Figure 5       | :mod:`repro.bench.fig5`              |
+| Figure 6       | :mod:`repro.bench.fig6`              |
+| §7.1.3         | :mod:`repro.bench.maturation`        |
+| Figure 7       | :mod:`repro.bench.fig7`              |
+| Figure 8       | :mod:`repro.bench.fig8`              |
+| Figure 9/10, Table 2 | :mod:`repro.bench.macro`       |
+"""
+
+from repro.bench.envs import (
+    BaselineEnv,
+    build_ofc_env,
+    build_owk_redis_env,
+    build_owk_swift_env,
+)
+
+__all__ = [
+    "BaselineEnv",
+    "build_ofc_env",
+    "build_owk_redis_env",
+    "build_owk_swift_env",
+]

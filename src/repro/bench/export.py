@@ -1,0 +1,90 @@
+"""Telemetry export: invocation records as JSON lines.
+
+Lets downstream analysis (pandas, spreadsheets) consume simulation
+telemetry without touching internal objects.  Used by the examples and
+available as a library utility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Union
+
+from repro.faas.pipeline import PipelineRecord
+from repro.faas.records import InvocationRecord
+
+
+def record_to_dict(record: InvocationRecord) -> dict:
+    """A flat, JSON-safe view of one invocation record."""
+    return {
+        "request_id": record.request.request_id,
+        "function": record.request.function,
+        "tenant": record.request.tenant,
+        "pipeline_id": record.request.pipeline_id,
+        "node": record.node,
+        "sandbox_id": record.sandbox_id,
+        "status": record.status,
+        "cold_start": record.cold_start,
+        "submitted_at": record.submitted_at,
+        "started_at": record.started_at,
+        "finished_at": record.finished_at,
+        "duration_s": record.duration,
+        "execution_s": record.execution_time,
+        "extract_s": record.phases.extract,
+        "transform_s": record.phases.transform,
+        "load_s": record.phases.load,
+        "bytes_in": record.bytes_in,
+        "bytes_out": record.bytes_out,
+        "booked_mb": record.booked_memory_mb,
+        "limit_mb": record.memory_limit_mb,
+        "peak_mb": record.peak_memory_mb,
+        "predicted_mb": record.predicted_memory_mb,
+        "should_cache": record.should_cache,
+        "retries": record.retries,
+        "oom_kills": record.oom_kills,
+        "output_refs": list(record.output_refs),
+    }
+
+
+def pipeline_to_dict(record: PipelineRecord) -> dict:
+    split = record.phase_split()
+    return {
+        "pipeline": record.pipeline,
+        "pipeline_id": record.pipeline_id,
+        "status": record.status,
+        "submitted_at": record.submitted_at,
+        "finished_at": record.finished_at,
+        "duration_s": record.duration,
+        "extract_s": split.extract,
+        "transform_s": split.transform,
+        "load_s": split.load,
+        "stages": [
+            {
+                "function": stage.function,
+                "wall_s": stage.wall_time,
+                "invocations": len(stage.records),
+            }
+            for stage in record.stage_records
+        ],
+    }
+
+
+def write_jsonl(
+    records: Iterable[Union[InvocationRecord, PipelineRecord]],
+    sink: IO[str],
+) -> int:
+    """Write records as JSON lines; returns the number written."""
+    count = 0
+    for record in records:
+        if isinstance(record, PipelineRecord):
+            payload = pipeline_to_dict(record)
+        else:
+            payload = record_to_dict(record)
+        sink.write(json.dumps(payload) + "\n")
+        count += 1
+    return count
+
+
+def read_jsonl(source: IO[str]) -> List[dict]:
+    """Parse a JSONL telemetry file back into dicts."""
+    return [json.loads(line) for line in source if line.strip()]

@@ -1,0 +1,140 @@
+"""Figure 3: the motivation experiment.
+
+ETL phase durations of a single-stage image function (sharp_resize)
+and a pipeline (MapReduce word count) when all data lives in an
+S3-profile RSDS versus an ElastiCache-Redis-profile IMOC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.faas.records import InvocationRequest
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.sim.kernel import Kernel
+from repro.sim.latency import KB, MB
+from repro.sim.rng import RngRegistry
+from repro.storage.latency_profiles import REDIS_PROFILE, S3_PROFILE
+from repro.storage.object_store import ObjectStore
+from repro.workloads.functions import get_function_model
+from repro.workloads.media import MediaCorpus
+from repro.workloads.pipelines import get_pipeline_app
+
+
+@dataclass
+class Fig3Row:
+    workload: str
+    input_size: int
+    backend: str  # "s3" (RSDS) or "redis" (IMOC)
+    extract_s: float
+    transform_s: float
+    load_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.extract_s + self.transform_s + self.load_s
+
+    @property
+    def el_fraction(self) -> float:
+        return (self.extract_s + self.load_s) / self.total_s
+
+
+def _env(profile, seed=0):
+    kernel = Kernel()
+    rng = RngRegistry(seed)
+    store = ObjectStore(kernel, profile=profile, rng=None)  # deterministic
+    platform = FaaSPlatform(
+        kernel,
+        store,
+        PlatformConfig(node_ids=["w0", "w1", "w2"], node_memory_mb=16384),
+        rng=None,
+    )
+    store.ensure_bucket("inputs")
+    store.ensure_bucket("outputs")
+    return kernel, store, platform
+
+
+def run_fig3_single(
+    sizes=(1 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB), seed: int = 0
+) -> List[Fig3Row]:
+    """Figure 3a: sharp_resize across input sizes, S3 vs Redis."""
+    rows = []
+    model = get_function_model("sharp_resize")
+    for backend, profile in [("s3", S3_PROFILE), ("redis", REDIS_PROFILE)]:
+        kernel, store, platform = _env(profile, seed)
+        platform.register_function(model.spec(tenant="t0", booked_mb=1024))
+        corpus = MediaCorpus(np.random.default_rng(seed))
+        args_rng = np.random.default_rng(seed)
+        for size in sizes:
+            media = corpus.image(size)
+            name = f"in-{size}"
+
+            def put(media=media, name=name):
+                yield from store.put(
+                    "inputs", name, media, size=media.size,
+                    user_meta=media.features(),
+                )
+
+            kernel.run_until(kernel.process(put()))
+            args = model.sample_args(args_rng)
+            record = kernel.run_until(
+                kernel.process(
+                    platform.invoke(
+                        InvocationRequest(
+                            function="sharp_resize",
+                            tenant="t0",
+                            args=args,
+                            input_ref=f"inputs/{name}",
+                        )
+                    )
+                )
+            )
+            rows.append(
+                Fig3Row(
+                    workload="sharp_resize",
+                    input_size=size,
+                    backend=backend,
+                    extract_s=record.phases.extract,
+                    transform_s=record.phases.transform,
+                    load_s=record.phases.load,
+                )
+            )
+    return rows
+
+
+def run_fig3_pipeline(
+    sizes=(5 * MB, 10 * MB, 30 * MB), seed: int = 0
+) -> List[Fig3Row]:
+    """Figure 3b: MapReduce word count, S3 vs Redis."""
+    rows = []
+    for backend, profile in [("s3", S3_PROFILE), ("redis", REDIS_PROFILE)]:
+        kernel, store, platform = _env(profile, seed)
+        app = get_pipeline_app("map_reduce")
+        app.register(platform, tenant="t0")
+        corpus = MediaCorpus(np.random.default_rng(seed))
+        for size in sizes:
+            refs = kernel.run_until(
+                kernel.process(app.prepare_inputs(store, corpus, size))
+            )
+            prec = kernel.run_until(
+                kernel.process(
+                    platform.invoke_pipeline(
+                        app.pipeline, tenant="t0", input_refs=refs
+                    )
+                )
+            )
+            split = prec.phase_split()
+            rows.append(
+                Fig3Row(
+                    workload="map_reduce",
+                    input_size=size,
+                    backend=backend,
+                    extract_s=split.extract,
+                    transform_s=split.transform,
+                    load_s=split.load,
+                )
+            )
+    return rows

@@ -1,0 +1,201 @@
+"""Figure 7: ETL durations under five configurations.
+
+For each workload and input size the paper compares OWK-Swift,
+OWK-Redis and OFC in three cache scenarios:
+
+* **LH (LocalHit)** — the input's master copy is cached on the worker
+  that runs the function;
+* **M (Miss)** — the input is not cached (outputs are still buffered);
+* **RH (RemoteHit)** — the input is cached on a *different* worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.envs import (
+    build_ofc_env,
+    build_owk_redis_env,
+    build_owk_swift_env,
+)
+from repro.faas.records import InvocationRequest
+from repro.sim.latency import KB, MB
+from repro.workloads.functions import get_function_model
+from repro.workloads.media import MediaCorpus
+from repro.workloads.pipelines import get_pipeline_app
+
+SINGLE_STAGE_SIZES = (1 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB)
+
+#: Pipelines and the input sizes used for them (bytes).
+PIPELINE_SIZES: Dict[str, Sequence[int]] = {
+    "map_reduce": (5 * MB, 10 * MB, 30 * MB),
+    "THIS": (25 * MB, 50 * MB, 125 * MB),
+    "IMAD": (1 * MB, 2 * MB, 4 * MB),
+    "image_processing": (64 * KB, 256 * KB, 1 * MB),
+}
+
+
+@dataclass
+class Fig7Row:
+    workload: str
+    input_size: int
+    config: str  # OWK-Swift | OWK-Redis | OFC-M | OFC-LH | OFC-RH
+    extract_s: float
+    transform_s: float
+    load_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.extract_s + self.transform_s + self.load_s
+
+
+def _fixed_args(fn_name: str, seed: int = 0) -> dict:
+    return get_function_model(fn_name).sample_args(np.random.default_rng(seed))
+
+
+def _seed_image(kernel, store, size: int, seed: int, name: str) -> str:
+    corpus = MediaCorpus(np.random.default_rng(seed))
+    media = corpus.image(size)
+
+    def put():
+        yield from store.put(
+            "inputs", name, media, size=media.size, user_meta=media.features()
+        )
+
+    kernel.run_until(kernel.process(put()))
+    return f"inputs/{name}"
+
+
+def _invoke(kernel, platform, fn_name, ref, args):
+    record = kernel.run_until(
+        kernel.process(
+            platform.invoke(
+                InvocationRequest(
+                    function=fn_name, tenant="t0", args=args, input_ref=ref
+                )
+            )
+        )
+    )
+    assert record.status == "ok", f"{fn_name} failed: {record}"
+    return record
+
+
+def _row(workload, size, config, phases) -> Fig7Row:
+    return Fig7Row(
+        workload=workload,
+        input_size=size,
+        config=config,
+        extract_s=phases.extract,
+        transform_s=phases.transform,
+        load_s=phases.load,
+    )
+
+
+def run_fig7_single(
+    functions: Sequence[str],
+    sizes: Sequence[int] = SINGLE_STAGE_SIZES,
+    seed: int = 0,
+) -> List[Fig7Row]:
+    """Single-stage functions under all five configurations."""
+    rows: List[Fig7Row] = []
+    for fn_name in functions:
+        model = get_function_model(fn_name)
+        args = _fixed_args(fn_name, seed)
+        for size in sizes:
+            # Baselines: one cold run each (phases exclude scheduling).
+            for builder, label in [
+                (build_owk_swift_env, "OWK-Swift"),
+                (build_owk_redis_env, "OWK-Redis"),
+            ]:
+                env = builder(seed=seed)
+                env.platform.register_function(
+                    model.spec(tenant="t0", booked_mb=2048)
+                )
+                ref = _seed_image(env.kernel, env.store, size, seed, "in")
+                record = _invoke(env.kernel, env.platform, fn_name, ref, args)
+                rows.append(_row(fn_name, size, label, record.phases))
+            # OFC: Miss, then LocalHit, then RemoteHit on one deployment.
+            ofc = build_ofc_env(seed=seed)
+            ofc.platform.register_function(
+                model.spec(tenant="t0", booked_mb=2048)
+            )
+            ref = _seed_image(ofc.kernel, ofc.store, size, seed, "in")
+            miss = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
+            rows.append(_row(fn_name, size, "OFC-M", miss.phases))
+            local = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
+            assert ofc.rclib_stats.hits_local >= 1
+            rows.append(_row(fn_name, size, "OFC-LH", local.phases))
+            # Move the master copy away from the warm sandbox's node.
+            new_master = ofc.kernel.run_until(
+                ofc.kernel.process(ofc.cluster.migrate_master(ref))
+            )
+            assert new_master is not None and new_master != local.node
+            remote = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
+            assert ofc.rclib_stats.hits_remote >= 1
+            rows.append(_row(fn_name, size, "OFC-RH", remote.phases))
+    return rows
+
+
+#: Node memory for pipeline runs: wide fan-out keeps many 1 GB
+#: sandboxes alive concurrently (the paper's nodes had 512 GB).
+PIPELINE_NODE_MB = 65536.0
+
+
+def run_fig7_pipeline(
+    app_name: str,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> List[Fig7Row]:
+    """One pipeline app under all five configurations."""
+    sizes = sizes or PIPELINE_SIZES[app_name]
+    rows: List[Fig7Row] = []
+    for size in sizes:
+        for builder, label in [
+            (build_owk_swift_env, "OWK-Swift"),
+            (build_owk_redis_env, "OWK-Redis"),
+        ]:
+            env = builder(seed=seed, node_mb=PIPELINE_NODE_MB)
+            app = get_pipeline_app(app_name)
+            app.register(env.platform, tenant="t0")
+            corpus = MediaCorpus(np.random.default_rng(seed))
+            refs = env.kernel.run_until(
+                env.kernel.process(
+                    app.prepare_inputs(env.store, corpus, size)
+                )
+            )
+            prec = env.kernel.run_until(
+                env.kernel.process(
+                    env.platform.invoke_pipeline(
+                        app.pipeline, tenant="t0", input_refs=refs
+                    )
+                )
+            )
+            assert prec.status == "ok"
+            rows.append(_row(app_name, size, label, prec.phase_split()))
+        # OFC: first run = Miss; second run = LocalHit (inputs cached on
+        # the nodes that consumed them); RemoteHit = migrate masters away.
+        ofc = build_ofc_env(seed=seed, node_mb=PIPELINE_NODE_MB)
+        app = get_pipeline_app(app_name)
+        app.register(ofc.platform, tenant="t0")
+        corpus = MediaCorpus(np.random.default_rng(seed))
+        refs = ofc.kernel.run_until(
+            ofc.kernel.process(app.prepare_inputs(ofc.store, corpus, size))
+        )
+        miss = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
+        assert miss.status == "ok"
+        rows.append(_row(app_name, size, "OFC-M", miss.phase_split()))
+        local = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
+        assert local.status == "ok"
+        rows.append(_row(app_name, size, "OFC-LH", local.phase_split()))
+        for ref in refs:
+            if ofc.cluster.contains(ref):
+                ofc.kernel.run_until(
+                    ofc.kernel.process(ofc.cluster.migrate_master(ref))
+                )
+        remote = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
+        assert remote.status == "ok"
+        rows.append(_row(app_name, size, "OFC-RH", remote.phase_split()))
+    return rows

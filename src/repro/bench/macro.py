@@ -1,0 +1,189 @@
+"""Macro experiments (§7.2.2): Figure 9, Figure 10 and Table 2.
+
+FaaSLoad emulates 8 tenants (the six wand functions plus MapReduce and
+THIS), firing for 30 simulated minutes with exponential inter-arrival
+times (mean 60 s).  Three tenant profiles are compared — naive,
+advanced, normal — each against the OWK-Swift baseline.
+
+A 24-tenant variant (3 per workload) reproduces the paper's
+higher-contention observation: lower hit ratio and smaller (but still
+positive) improvements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.envs import build_ofc_env, build_owk_swift_env, pretrain_function
+from repro.sim.latency import KB, MB
+from repro.workloads.faasload import FaaSLoad, TenantProfile, TenantSpec
+from repro.workloads.functions import get_function_model
+from repro.workloads.media import MediaCorpus
+
+#: The 8 workloads of Figure 9 (one tenant each in the 8-tenant runs).
+MACRO_WORKLOADS = [
+    "wand_blur",
+    "wand_resize",
+    "wand_sepia",
+    "wand_rotate",
+    "wand_denoise",
+    "wand_edge",
+    "map_reduce",
+    "THIS",
+]
+
+_IMAGE_SIZES = [16 * KB, 64 * KB, 256 * KB, 1 * MB, 3 * MB]
+_PIPELINE_SIZES = {"map_reduce": [5 * MB, 10 * MB], "THIS": [16 * MB, 25 * MB]}
+
+
+@dataclass
+class MacroResult:
+    system: str
+    profile: str
+    #: workload -> sum of execution times of all its invocations (s).
+    total_exec_s: Dict[str, float] = field(default_factory=dict)
+    #: workload -> number of completed invocations.
+    completed: Dict[str, int] = field(default_factory=dict)
+    failed_invocations: int = 0
+    table2: Dict[str, float] = field(default_factory=dict)
+    cache_series: List[Tuple[float, int]] = field(default_factory=list)
+    hit_ratio: float = 0.0
+
+
+def _tenant_specs(
+    profile: TenantProfile, tenants_per_workload: int = 1
+) -> List[TenantSpec]:
+    specs = []
+    for copy in range(tenants_per_workload):
+        for workload in MACRO_WORKLOADS:
+            sizes = _PIPELINE_SIZES.get(workload, _IMAGE_SIZES)
+            specs.append(
+                TenantSpec(
+                    tenant_id=f"tenant-{workload}-{copy}",
+                    workload=workload,
+                    profile=profile,
+                    mean_interval_s=60.0,
+                    arrival="exponential",
+                    input_sizes=list(sizes),
+                    n_inputs=len(sizes),
+                )
+            )
+    return specs
+
+
+def run_macro(
+    system: str,
+    profile: TenantProfile,
+    duration_s: float = 1800.0,
+    tenants_per_workload: int = 1,
+    nodes: int = 4,
+    node_mb: float = 16384.0,
+    seed: int = 0,
+    pretrain: bool = True,
+) -> MacroResult:
+    """One macro run.  ``system`` is "ofc" or "swift"."""
+    specs = _tenant_specs(profile, tenants_per_workload)
+    if system == "ofc":
+        deployment = build_ofc_env(nodes=nodes, node_mb=node_mb, seed=seed)
+        kernel, store, platform = (
+            deployment.kernel,
+            deployment.store,
+            deployment.platform,
+        )
+    elif system == "swift":
+        deployment = None
+        env = build_owk_swift_env(nodes=nodes, node_mb=node_mb, seed=seed)
+        kernel, store, platform = env.kernel, env.store, env.platform
+    else:
+        raise ValueError(f"unknown system: {system}")
+
+    injector = FaaSLoad(kernel, platform, store, rng=np.random.default_rng(seed))
+    injector.prepare(specs)
+
+    if system == "ofc" and pretrain:
+        # The paper trains models offline from FaaSLoad telemetry; give
+        # every single-stage tenant a mature model up front.
+        for runtime in injector.tenants:
+            if runtime.model is not None:
+                pretrain_function(
+                    deployment,
+                    runtime.model,
+                    runtime.descriptors,
+                    tenant=runtime.spec.tenant_id,
+                    seed=seed,
+                )
+
+    results = injector.run(duration_s)
+
+    result = MacroResult(system=system, profile=profile.value)
+    for tenant_id, runtime in results.items():
+        workload = runtime.spec.workload
+        if runtime.app is not None:
+            total = sum(p.duration for p in runtime.pipeline_records)
+            done = sum(1 for p in runtime.pipeline_records if p.status == "ok")
+            result.failed_invocations += sum(
+                1 for p in runtime.pipeline_records if p.status != "ok"
+            )
+        else:
+            # Figure 9 sums *execution* times (queueing and sandbox
+            # provisioning excluded).
+            total = sum(
+                r.execution_time for r in runtime.records if r.status == "ok"
+            )
+            done = sum(1 for r in runtime.records if r.status == "ok")
+            result.failed_invocations += sum(
+                1 for r in runtime.records if r.status != "ok"
+            )
+        result.total_exec_s[workload] = (
+            result.total_exec_s.get(workload, 0.0) + total
+        )
+        result.completed[workload] = result.completed.get(workload, 0) + done
+    if system == "ofc":
+        result.table2 = deployment.table2_snapshot()
+        result.cache_series = list(deployment.metrics.cache_size_series)
+        result.hit_ratio = deployment.rclib_stats.hit_ratio
+    return result
+
+
+def run_macro_comparison(
+    profile: TenantProfile,
+    duration_s: float = 1800.0,
+    tenants_per_workload: int = 1,
+    seed: int = 0,
+    node_mb: Optional[float] = None,
+) -> Tuple[MacroResult, MacroResult, Dict[str, float]]:
+    """OFC vs OWK-Swift for one profile.
+
+    Returns (ofc result, swift result, per-workload improvement %).
+    Node memory scales with tenant count by default (the paper's
+    testbed had 512 GB workers; memory exhaustion from sheer sandbox
+    count is not the phenomenon under study).
+    """
+    if node_mb is None:
+        node_mb = 16384.0 * max(1, tenants_per_workload)
+    ofc = run_macro(
+        "ofc",
+        profile,
+        duration_s=duration_s,
+        tenants_per_workload=tenants_per_workload,
+        node_mb=node_mb,
+        seed=seed,
+    )
+    swift = run_macro(
+        "swift",
+        profile,
+        duration_s=duration_s,
+        tenants_per_workload=tenants_per_workload,
+        node_mb=node_mb,
+        seed=seed,
+    )
+    improvements = {}
+    for workload in MACRO_WORKLOADS:
+        base = swift.total_exec_s.get(workload, 0.0)
+        measured = ofc.total_exec_s.get(workload, 0.0)
+        if base > 0:
+            improvements[workload] = 100.0 * (base - measured) / base
+    return ofc, swift, improvements

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def improvement_pct(baseline: float, measured: float) -> float:
+    """Relative improvement of ``measured`` over ``baseline`` (%)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - measured) / baseline

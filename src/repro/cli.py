@@ -1,0 +1,246 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig3 table1 maturation
+    python -m repro.cli all
+
+Each experiment prints the same rows the corresponding paper artifact
+reports. Heavy experiments accept ``--quick`` to shrink sample counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench.reporting import format_table
+
+
+def _fig2(quick: bool) -> str:
+    from repro.bench.fig2 import run_fig2
+
+    result = run_fig2(n=150 if quick else 400)
+    return format_table(
+        ["metric", "value"],
+        [
+            ("spread at fixed byte size (MB)", result.spread_at_fixed_size_mb),
+            ("spread at fixed sigma (MB)", result.spread_at_fixed_sigma_mb),
+        ],
+        title="Figure 2 — wand_blur memory variability",
+    )
+
+
+def _fig3(quick: bool) -> str:
+    from repro.bench.fig3 import run_fig3_pipeline, run_fig3_single
+
+    rows = run_fig3_single() + run_fig3_pipeline()
+    return format_table(
+        ["workload", "size", "backend", "E (s)", "T (s)", "L (s)", "E+L %"],
+        [
+            (r.workload, r.input_size, r.backend, r.extract_s, r.transform_s,
+             r.load_s, 100 * r.el_fraction)
+            for r in rows
+        ],
+        title="Figure 3 — motivation: RSDS vs IMOC",
+    )
+
+
+def _table1(quick: bool) -> str:
+    from repro.bench.table1 import run_table1
+
+    functions = (
+        ["wand_blur", "wand_sepia", "sharp_resize", "video_transcode"]
+        if quick
+        else None
+    )
+    rows = run_table1(
+        n_samples=200 if quick else 400,
+        folds=3 if quick else 5,
+        functions=functions,
+    )
+    return format_table(
+        ["interval", "algorithm", "exact %", "exact-or-over %"],
+        [
+            (f"{r.interval_mb:.0f} MB", r.algorithm, r.exact_pct,
+             r.exact_or_over_pct)
+            for r in rows
+        ],
+        title="Table 1 — ML accuracy",
+    )
+
+
+def _benefit(quick: bool) -> str:
+    from repro.bench.table1 import run_benefit_model_eval
+
+    result = run_benefit_model_eval(n_samples=200 if quick else 400)
+    return format_table(
+        ["metric", "%"],
+        [(k, v) for k, v in result.items()],
+        title="Cache-benefit model (§7.1.1)",
+    )
+
+
+def _fig5(quick: bool) -> str:
+    from repro.bench.fig5 import run_fig5
+
+    result = run_fig5(n_samples=200 if quick else 400)
+    return format_table(
+        ["metric", "value"],
+        [
+            ("EO fraction", result.eo_fraction),
+            ("overpredictions within 3 intervals", result.over_within_3_intervals),
+            ("mean waste (MB)", result.mean_waste_mb),
+        ],
+        title="Figure 5 — error distribution",
+    )
+
+
+def _fig6(quick: bool) -> str:
+    from repro.bench.fig6 import run_fig6
+
+    functions = ["wand_sepia", "sharp_resize"] if quick else None
+    rows = run_fig6(n_samples=150 if quick else 300, functions=functions)
+    return format_table(
+        ["algorithm", "interval", "median (us)", "p99 (us)"],
+        [
+            (r.algorithm, f"{r.interval_mb:.0f} MB", r.median_us, r.p99_us)
+            for r in rows
+        ],
+        title="Figure 6 — prediction speed",
+    )
+
+
+def _maturation(quick: bool) -> str:
+    from repro.bench.maturation import run_maturation
+
+    result = run_maturation(max_invocations=300 if quick else 500)
+    rows = [
+        (name, count if count is not None else "(not matured)")
+        for name, count in result.per_function.items()
+    ]
+    rows.append(("median", result.median))
+    rows.append(("p75", result.p75))
+    rows.append(("p95", result.p95))
+    return format_table(
+        ["function", "invocations"], rows, title="§7.1.3 — maturation"
+    )
+
+
+def _fig7(quick: bool) -> str:
+    from repro.bench.fig7 import run_fig7_single
+    from repro.sim.latency import KB
+    from repro.workloads.functions import FIGURE7_FUNCTIONS
+
+    functions = FIGURE7_FUNCTIONS[:2] if quick else FIGURE7_FUNCTIONS
+    rows = run_fig7_single(functions, sizes=(16 * KB, 128 * KB))
+    return format_table(
+        ["workload", "size", "config", "total (ms)"],
+        [(r.workload, r.input_size, r.config, r.total_s * 1e3) for r in rows],
+        title="Figure 7 — single-stage (subset)",
+    )
+
+
+def _fig8(quick: bool) -> str:
+    from repro.bench.fig8 import run_fig8
+    from repro.sim.latency import KB
+
+    sizes = (16 * KB, 1024 * KB) if quick else (1 * KB, 16 * KB, 1024 * KB, 3072 * KB)
+    rows = run_fig8(sizes=sizes)
+    return format_table(
+        ["scenario", "size (kB)", "scaling (ms)", "exec (ms)"],
+        [
+            (r.scenario, r.input_size // 1024, r.scaling_time_s * 1e3,
+             r.exec_time_s * 1e3)
+            for r in rows
+        ],
+        title="Figure 8 — scaling impact",
+    )
+
+
+def _fig9(quick: bool) -> str:
+    from repro.bench.macro import MACRO_WORKLOADS, run_macro_comparison
+    from repro.workloads.faasload import TenantProfile
+
+    ofc, swift, improvements = run_macro_comparison(
+        TenantProfile.NORMAL, duration_s=300.0 if quick else 1800.0
+    )
+    return format_table(
+        ["workload", "OWK-Swift (s)", "OFC (s)", "improvement %"],
+        [
+            (w, swift.total_exec_s.get(w, 0.0), ofc.total_exec_s.get(w, 0.0),
+             improvements.get(w, 0.0))
+            for w in MACRO_WORKLOADS
+        ],
+        title=(
+            "Figure 9 — macro (normal profile); "
+            f"hit ratio {ofc.hit_ratio:.3f}, failed {ofc.failed_invocations}"
+        ),
+    )
+
+
+def _table2(quick: bool) -> str:
+    from repro.bench.macro import run_macro
+    from repro.workloads.faasload import TenantProfile
+
+    result = run_macro(
+        "ofc", TenantProfile.NORMAL, duration_s=300.0 if quick else 1800.0
+    )
+    return format_table(
+        ["metric", "value"],
+        list(result.table2.items()),
+        title="Table 2 — OFC internal metrics",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "table1": _table1,
+    "benefit": _benefit,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "maturation": _maturation,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "table2": _table2,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the OFC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sample counts"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = (
+        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    )
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment: {name}", file=sys.stderr)
+            return 2
+        print(runner(args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

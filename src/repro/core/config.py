@@ -1,0 +1,72 @@
+"""OFC configuration: every tunable the paper names, with its value."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.latency import MB
+
+
+@dataclass
+class OFCConfig:
+    """Knobs of the OFC system, defaulting to the paper's settings."""
+
+    # -- ML / prediction (§5) ------------------------------------------------
+    #: Classification interval size; 16 MB is the paper's choice.
+    interval_mb: float = 16.0
+    #: OpenWhisk's maximum sandbox memory (upper end of the range).
+    max_memory_mb: float = 2048.0
+    #: Invocations before the first maturity check (§7.1.3).
+    min_history_for_maturity: int = 100
+    #: Maturation criterion: fraction of exact-or-over predictions.
+    maturity_eo_threshold: float = 0.90
+    #: Maturation criterion: fraction of underpredictions within one
+    #: interval of the truth.
+    maturity_near_threshold: float = 0.50
+    #: Conservative post-maturity adjustment: predict one interval up.
+    bump_intervals: int = 1
+    #: Retrain/maturity-check cadence, in completed invocations.
+    retrain_every: int = 25
+    #: After maturity, keep only underpredictions and extreme
+    #: overpredictions (k - k* > this) in the training set (§5.3.3).
+    extreme_over_intervals: int = 6
+    #: Weight given to underprediction samples on retraining.
+    underprediction_weight: float = 3.0
+    #: E+L fraction above which caching is considered beneficial (§5.2).
+    cache_benefit_threshold: float = 0.5
+    #: Ablation: disable the benefit classifier (cache everything).
+    use_benefit_model: bool = True
+
+    # -- monitor (§5.3.1) ------------------------------------------------------
+    #: Dynamic cap raising only for invocations running at least this long.
+    monitor_min_runtime_s: float = 3.0
+    #: Headroom added when the Monitor raises a sandbox's cap.
+    monitor_headroom_mb: float = 32.0
+
+    # -- cache policy (§6.3) ----------------------------------------------------
+    #: Maximum object size admitted to the cache.
+    max_cacheable_bytes: int = 10 * MB
+    #: Periodic eviction cadence.
+    eviction_period_s: float = 300.0
+    #: Evict objects read fewer than this many times...
+    eviction_min_accesses: int = 5
+    #: ...or idle for longer than this.
+    eviction_max_idle_s: float = 30 * 60.0
+
+    # -- autoscaling (§6.4) --------------------------------------------------------
+    #: Initial per-node slack pool.
+    slack_initial_mb: float = 100.0
+    #: Slack re-estimation cadence.
+    slack_adjust_period_s: float = 120.0
+    #: Memory-churn sampling cadence for the sliding window.
+    churn_sample_period_s: float = 60.0
+    #: Sliding-window length, in churn samples.
+    churn_window_samples: int = 5
+
+    # -- storage consistency (§6.2) --------------------------------------------------
+    #: True: synchronous shadow writes + persistors + webhooks (full
+    #: transparency).  False: relaxed mode (lazy write-back only).
+    strict_consistency: bool = True
+
+    # -- cache cluster ---------------------------------------------------------------
+    replication_factor: int = 2

@@ -1,0 +1,45 @@
+"""OFC-internal metrics (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class OFCMetrics:
+    """Counters matching the rows of Table 2, plus timing totals."""
+
+    scale_ups: int = 0
+    scale_up_time_s: float = 0.0
+    scale_downs_plain: int = 0  # no eviction
+    scale_downs_migration: int = 0
+    scale_downs_eviction: int = 0
+    scale_down_time_s: float = 0.0
+    migrations: int = 0
+    migrated_bytes: int = 0
+    evictions_periodic: int = 0
+    evictions_pressure: int = 0
+    pipeline_cleanups: int = 0
+    intermediate_objects_removed: int = 0
+    #: Time series of (simulated time, total cache bytes) for Figure 10.
+    cache_size_series: List[Tuple[float, int]] = field(default_factory=list)
+
+    def record_cache_size(self, now: float, total_bytes: int) -> None:
+        self.cache_size_series.append((now, total_bytes))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "scale_ups": self.scale_ups,
+            "scale_up_time_s": round(self.scale_up_time_s, 6),
+            "scale_downs_plain": self.scale_downs_plain,
+            "scale_downs_migration": self.scale_downs_migration,
+            "scale_downs_eviction": self.scale_downs_eviction,
+            "scale_down_time_s": round(self.scale_down_time_s, 6),
+            "migrations": self.migrations,
+            "migrated_bytes": self.migrated_bytes,
+            "evictions_periodic": self.evictions_periodic,
+            "evictions_pressure": self.evictions_pressure,
+            "pipeline_cleanups": self.pipeline_cleanups,
+            "intermediate_objects_removed": self.intermediate_objects_removed,
+        }

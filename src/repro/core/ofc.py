@@ -1,0 +1,256 @@
+"""OFCPlatform: the assembled system (Figure 4).
+
+Wires every OFC component into a stock :class:`FaaSPlatform` through
+its extension hooks, plus the RSDS webhooks that preserve strong
+consistency for external (non-FaaS) clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.cache_agent import CacheAgent
+from repro.core.config import OFCConfig
+from repro.core.metrics import OFCMetrics
+from repro.core.monitor import Monitor
+from repro.core.persistor import PersistorService
+from repro.core.predictor import Predictor
+from repro.core.proxy import RcLibClient, RcLibStats
+from repro.core.routing import OFCScheduler
+from repro.core.trainer import ModelTrainer
+from repro.faas.pipeline import Pipeline, PipelineRecord
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.faas.records import InvocationRecord, InvocationRequest
+from repro.kvcache.cluster import CacheCluster
+from repro.kvcache.errors import NoSuchKey
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+from repro.storage.latency_profiles import LatencyProfile, SWIFT_PROFILE
+from repro.storage.object_store import ObjectStore
+
+
+class OFCPlatform:
+    """The opportunistic FaaS cache, end to end.
+
+    Typical use::
+
+        ofc = OFCPlatform(seed=1)
+        ofc.start()
+        ofc.platform.register_function(spec)
+        record = ofc.invoke(InvocationRequest(function="f", tenant="t"))
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        config: Optional[OFCConfig] = None,
+        platform_config: Optional[PlatformConfig] = None,
+        rsds_profile: LatencyProfile = SWIFT_PROFILE,
+        seed: int = 0,
+    ):
+        self.kernel = kernel or Kernel()
+        self.config = config or OFCConfig()
+        self.rng = RngRegistry(seed)
+        self.store = ObjectStore(
+            self.kernel, profile=rsds_profile, rng=self.rng.stream("rsds")
+        )
+        platform_config = platform_config or PlatformConfig()
+        self.platform = FaaSPlatform(
+            self.kernel,
+            self.store,
+            platform_config,
+            rng=self.rng.stream("platform"),
+        )
+        self.cluster = CacheCluster(
+            self.kernel,
+            platform_config.node_ids,
+            replication_factor=self.config.replication_factor,
+            rng=self.rng.stream("cache"),
+            max_object_size=self.config.max_cacheable_bytes,
+        )
+        self.metrics = OFCMetrics()
+        self.rclib_stats = RcLibStats()
+        self.trainer = ModelTrainer(
+            self.config, self.platform.registry, rsds_profile=rsds_profile
+        )
+        self.predictor = Predictor(
+            self.kernel,
+            self.trainer,
+            store=self.store,
+            config=self.config,
+            rng=self.rng.stream("predictor"),
+        )
+        self.persistor = PersistorService(
+            self.kernel,
+            self.store,
+            self.cluster,
+            rng=self.rng.stream("persistor"),
+            on_persisted=self._on_persisted,
+        )
+        self.agents: Dict[str, CacheAgent] = {
+            invoker.node_id: CacheAgent(
+                self.kernel,
+                invoker,
+                self.cluster,
+                self.persistor,
+                config=self.config,
+                metrics=self.metrics,
+            )
+            for invoker in self.platform.invokers
+        }
+        # Hook everything into the platform.
+        self.platform.scheduler = OFCScheduler(self.cluster)
+        self.platform.sizing_policy = self.predictor.sizing_policy
+        self.platform.data_client_factory = self._make_data_client
+        self.platform.monitor_factory = self._make_monitor
+        self.platform.completion_listeners.append(self.trainer.on_completion)
+        self.platform.pipeline_listeners.append(self._on_pipeline_complete)
+        if self.config.strict_consistency:
+            self.store.register_read_hook(self._read_webhook)
+            self.store.register_write_hook(self._write_webhook)
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the per-node cache agents (sizes the initial cache)."""
+        if self._started:
+            return
+        self._started = True
+        for agent in self.agents.values():
+            agent.start()
+        # Let the initial scale-up land before any invocation arrives.
+        self.kernel.run(until=self.kernel.now)
+
+    # -- hook factories ----------------------------------------------------------
+
+    def _make_data_client(self, invoker, record: InvocationRecord) -> RcLibClient:
+        return RcLibClient(
+            self.kernel,
+            invoker.node_id,
+            self.cluster,
+            self.store,
+            self.persistor,
+            self.config,
+            record,
+            self.rclib_stats,
+        )
+
+    def _make_monitor(self, record: InvocationRecord, invoker) -> Monitor:
+        return Monitor(record, invoker, config=self.config)
+
+    # -- consistency callbacks (§6.2) -----------------------------------------------
+
+    def _read_webhook(self, op: str, meta) -> Generator:
+        """Hold an external GET until the latest payload is persisted."""
+        key = meta.key
+        if not meta.is_shadow:
+            return
+        pending = self.persistor.pending_for(key)
+        if pending is not None:
+            yield from self.persistor.boost(key)
+            return
+        # Nothing in flight but the RSDS copy is stale: push from cache.
+        cached = self.cluster.peek(key)
+        if cached is not None:
+            done = self.persistor.schedule(
+                meta.bucket, meta.name, cached.value, meta.version, final=False
+            )
+            yield done
+
+    def _write_webhook(self, op: str, meta) -> Generator:
+        """Invalidate the cached copy before an external write (§6.2)."""
+        key = meta.key
+        if self.cluster.contains(key):
+            try:
+                yield from self.cluster.delete(key, caller="external")
+            except NoSuchKey:
+                pass
+
+    def _on_persisted(self, key: str, final: bool, version: int) -> None:
+        """Discard final outputs from the cache once written back (§6.3)."""
+        if not final:
+            return
+
+        def discard():
+            cached = self.cluster.peek(key)
+            if (
+                cached is not None
+                and cached.version <= version
+                and not cached.flags.get("dirty", False)
+            ):
+                try:
+                    yield from self.cluster.delete(key, caller="external")
+                except NoSuchKey:
+                    pass
+            agent = self.agents.get(self.cluster.location_of(key) or "")
+            if agent is not None:
+                agent._queue_retarget()
+
+        self.kernel.process(discard(), name=f"discard-final-{key}")
+
+    def _on_pipeline_complete(self, record: PipelineRecord) -> None:
+        """Remove the pipeline's intermediate objects from the cache and
+        drop their RSDS shadows (§6.3: removed, never persisted)."""
+
+        def cleanup():
+            removed = 0
+            for server in self.cluster.coordinator.servers.values():
+                for obj in server.master_objects():
+                    if obj.flags.get("pipeline_id") != record.pipeline_id:
+                        continue
+                    if not obj.flags.get("intermediate", False):
+                        continue
+                    bucket, _sep, name = obj.key.partition("/")
+                    try:
+                        yield from self.cluster.delete(
+                            obj.key, caller=server.server_id
+                        )
+                        removed += 1
+                    except NoSuchKey:
+                        continue
+                    if self.store.contains(bucket, name):
+                        yield from self.store.delete(bucket, name, internal=True)
+            self.metrics.pipeline_cleanups += 1
+            self.metrics.intermediate_objects_removed += removed
+
+        self.kernel.process(
+            cleanup(), name=f"pipeline-cleanup-{record.pipeline_id}"
+        )
+
+    # -- public API ------------------------------------------------------------------
+
+    def invoke(self, request: InvocationRequest) -> InvocationRecord:
+        """Blocking invoke (runs the kernel until the record completes)."""
+        process = self.kernel.process(self.platform.invoke(request))
+        return self.kernel.run_until(process)
+
+    def invoke_pipeline(
+        self,
+        pipeline: Pipeline,
+        tenant: str,
+        base_args: Optional[Dict[str, Any]] = None,
+        input_refs: Optional[List[str]] = None,
+    ) -> PipelineRecord:
+        process = self.kernel.process(
+            self.platform.invoke_pipeline(
+                pipeline, tenant, base_args=base_args, input_refs=input_refs
+            )
+        )
+        return self.kernel.run_until(process)
+
+    # -- reporting (Table 2) ------------------------------------------------------------
+
+    def table2_snapshot(self) -> Dict[str, Any]:
+        failed = sum(1 for r in self.platform.records if r.status == "failed")
+        snap = self.metrics.snapshot()
+        snap.update(
+            {
+                "good_predictions": self.trainer.good_predictions,
+                "bad_predictions": self.trainer.bad_predictions,
+                "failed_invocations": failed,
+                "cache_hit_ratio": round(self.rclib_stats.hit_ratio, 4),
+                "ephemeral_data_bytes": self.rclib_stats.ephemeral_bytes,
+            }
+        )
+        return snap

@@ -1,0 +1,127 @@
+"""Persistor: asynchronous write-back of cached payloads (§6.2).
+
+Each dirty write that rclib buffers in the cache schedules a persistor
+— a helper function injected into the FaaS platform — that pushes the
+payload to the RSDS and updates the object's version metadata.  Version
+numbers keep successive updates ordered; the webhook path can *boost* a
+pending persist by awaiting its completion event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.kvcache.cluster import CacheCluster
+from repro.kvcache.errors import NoSuchKey
+from repro.sim.kernel import Event, Kernel
+from repro.sim.latency import PLATFORM_OVERHEAD
+from repro.storage.errors import NoSuchObject
+from repro.storage.object_store import ObjectStore
+
+
+@dataclass
+class PersistorStats:
+    scheduled: int = 0
+    completed: int = 0
+    superseded: int = 0
+    bytes_persisted: int = 0
+    boosts: int = 0
+
+
+class PersistorService:
+    """Schedules and tracks persistor helper functions."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        store: ObjectStore,
+        cluster: CacheCluster,
+        rng=None,
+        on_persisted: Optional[Callable[[str, bool, int], None]] = None,
+    ):
+        self.kernel = kernel
+        self.store = store
+        self.cluster = cluster
+        self.rng = rng
+        #: Callback ``(key, final, version)`` after a successful persist
+        #: (the CacheAgent discards final outputs here, §6.3).
+        self.on_persisted = on_persisted
+        self._pending: Dict[str, Event] = {}
+        self.stats = PersistorStats()
+
+    def pending_for(self, key: str) -> Optional[Event]:
+        return self._pending.get(key)
+
+    def schedule(
+        self,
+        bucket: str,
+        name: str,
+        payload: Any,
+        version: int,
+        final: bool,
+        size: int = 0,
+        create_if_missing: bool = False,
+    ) -> Event:
+        """Inject a persistor function for one (object, version).
+
+        ``create_if_missing`` handles relaxed-consistency write-back
+        (§6.2): no shadow exists in the RSDS, so the persistor performs
+        a full PUT instead of filling a placeholder.
+        """
+        key = f"{bucket}/{name}"
+        done = self.kernel.event()
+        self._pending[key] = done
+        self.stats.scheduled += 1
+
+        def persistor():
+            # The persistor runs as a FaaS helper function: it pays the
+            # platform dispatch overhead before touching the RSDS.
+            yield self.kernel.timeout(PLATFORM_OVERHEAD.sample(self.rng))
+            try:
+                ok = yield from self.store.persist_payload(
+                    bucket, name, payload, version
+                )
+            except NoSuchObject:
+                if create_if_missing:
+                    self.store.ensure_bucket(bucket)
+                    yield from self.store.put(
+                        bucket, name, payload, size, internal=True
+                    )
+                    ok = True
+                else:
+                    # The object was deleted while this persist was
+                    # queued (e.g. a pipeline cleanup removed its
+                    # intermediates).
+                    ok = False
+            if ok and self.store.contains(bucket, name):
+                self.stats.completed += 1
+                meta = self.store.peek_meta(bucket, name)
+                self.stats.bytes_persisted += meta.size
+                # Clear the dirty flag on the cached copy, if any.
+                try:
+                    self.cluster.set_flags(key, dirty=False)
+                except NoSuchKey:
+                    pass
+                if self.on_persisted is not None:
+                    self.on_persisted(key, final, version)
+            else:
+                self.stats.superseded += 1
+            if self._pending.get(key) is done:
+                del self._pending[key]
+            done.succeed(ok)
+
+        self.kernel.process(persistor(), name=f"persistor-{key}")
+        return done
+
+    def boost(self, key: str):
+        """Generator: wait until a pending persist of ``key`` completes.
+
+        Used by the RSDS read webhook (§6.2) to hold an external GET
+        until the latest payload is available.  No-op when nothing is
+        pending.
+        """
+        event = self._pending.get(key)
+        if event is not None:
+            self.stats.boosts += 1
+            yield event

@@ -1,0 +1,241 @@
+"""rclib: the transparent data-plane proxy (§4, §6.2).
+
+Function bodies never know the cache exists: the platform hands them an
+:class:`RcLibClient` instead of a direct store client.  Reads try the
+cache first and fall back to the RSDS (populating the cache
+asynchronously on a miss); writes create a synchronous zero-payload
+*shadow* in the RSDS, buffer the payload in the cache (write-back), and
+schedule a persistor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.core.config import OFCConfig
+from repro.core.persistor import PersistorService
+from repro.faas.dataclient import DataClient
+from repro.faas.records import InvocationRecord
+from repro.kvcache.cluster import CacheCluster
+from repro.kvcache.errors import CacheError, CapacityExceeded, NoSuchKey, ObjectTooLarge
+from repro.sim.kernel import Kernel
+from repro.storage.errors import NoSuchObject
+from repro.storage.meta import ObjectMeta, StoredObject
+from repro.storage.object_store import ObjectStore
+
+
+@dataclass
+class RcLibStats:
+    """Cluster-wide data-plane counters (Table 2 feeds on these)."""
+
+    hits_local: int = 0
+    hits_remote: int = 0
+    misses: int = 0
+    uncached_reads: int = 0
+    writes_cached: int = 0
+    writes_direct: int = 0
+    write_back_fallbacks: int = 0
+    ephemeral_bytes: int = 0
+    shadow_writes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits_local + self.hits_remote + self.misses
+        if total == 0:
+            return 0.0
+        return (self.hits_local + self.hits_remote) / total
+
+
+class RcLibClient(DataClient):
+    """Per-invocation cache-aware data client for one worker node."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        node_id: str,
+        cluster: CacheCluster,
+        store: ObjectStore,
+        persistor: PersistorService,
+        config: OFCConfig,
+        record: InvocationRecord,
+        stats: RcLibStats,
+    ):
+        self.kernel = kernel
+        self.node_id = node_id
+        self.cluster = cluster
+        self.store = store
+        self.persistor = persistor
+        self.config = config
+        self.record = record
+        self.stats = stats
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def _should_cache(self) -> bool:
+        return self.record.should_cache is not False
+
+    def _cacheable(self, size: int) -> bool:
+        return self._should_cache and size <= self.config.max_cacheable_bytes
+
+    def _as_stored_object(self, key: str, cached) -> StoredObject:
+        bucket, _sep, name = key.partition("/")
+        meta = ObjectMeta(
+            bucket=bucket,
+            name=name,
+            size=cached.size,
+            version=cached.version,
+            user_meta=dict(cached.flags.get("user_meta") or {}),
+        )
+        return StoredObject(meta=meta, payload=cached.value)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, bucket: str, name: str) -> Generator[Any, Any, StoredObject]:
+        key = f"{bucket}/{name}"
+        location = self.cluster.location_of(key)
+        if location is not None:
+            try:
+                cached = yield from self.cluster.get(key, caller=self.node_id)
+            except NoSuchKey:
+                cached = None
+            if cached is not None:
+                if location == self.node_id:
+                    self.stats.hits_local += 1
+                else:
+                    self.stats.hits_remote += 1
+                return self._as_stored_object(key, cached)
+        obj = yield from self.store.get(bucket, name, internal=True)
+        if self._should_cache:
+            self.stats.misses += 1
+            if self._cacheable(obj.meta.size):
+                self._populate_async(key, obj)
+        else:
+            self.stats.uncached_reads += 1
+        return obj
+
+    def _populate_async(self, key: str, obj: StoredObject) -> None:
+        """Admit a read-miss object to the cache off the critical path."""
+
+        def fill():
+            try:
+                yield from self.cluster.put(
+                    key,
+                    obj.payload,
+                    obj.meta.size,
+                    caller=self.node_id,
+                    flags={
+                        "dirty": False,
+                        "input": True,
+                        "user_meta": dict(obj.meta.user_meta),
+                    },
+                )
+            except (CapacityExceeded, ObjectTooLarge, CacheError):
+                pass  # no room: the object simply stays uncached
+
+        self.kernel.process(fill(), name=f"cache-fill-{key}")
+
+    # -- writes ---------------------------------------------------------------
+
+    def write(
+        self,
+        bucket: str,
+        name: str,
+        payload: Any,
+        size: int,
+        content_type: str = "application/octet-stream",
+        user_meta: Optional[Dict[str, Any]] = None,
+        intermediate: bool = False,
+        pipeline_id: Optional[str] = None,
+    ) -> Generator[Any, Any, None]:
+        self.store.ensure_bucket(bucket)
+        if intermediate:
+            self.stats.ephemeral_bytes += size
+        # Pipeline intermediates are always buffered in write-back mode
+        # (§6.3/§7.2.1: "outputs are always buffered... which helps
+        # multi-stage functions"); shouldBeCached only gates the rest.
+        cacheable = (
+            size <= self.config.max_cacheable_bytes
+            if intermediate
+            else self._cacheable(size)
+        )
+        if not cacheable:
+            self.stats.writes_direct += 1
+            yield from self.store.put(
+                bucket,
+                name,
+                payload,
+                size,
+                content_type=content_type,
+                user_meta=user_meta,
+                internal=True,
+            )
+            return
+        # 1. Synchronous zero-payload shadow in the RSDS (strict mode).
+        version = 1
+        if self.config.strict_consistency:
+            meta = yield from self.store.put(
+                bucket,
+                name,
+                None,
+                size,
+                content_type=content_type,
+                user_meta=user_meta,
+                shadow=True,
+                internal=True,
+            )
+            version = meta.version
+            self.stats.shadow_writes += 1
+        else:
+            cached = self.cluster.peek(f"{bucket}/{name}")
+            version = (cached.version + 1) if cached is not None else 1
+        # 2. Write-back into the cache.
+        key = f"{bucket}/{name}"
+        flags = {
+            "dirty": True,
+            "intermediate": intermediate,
+            "pipeline_id": pipeline_id,
+            "final": not intermediate,
+            "user_meta": dict(user_meta or {}),
+        }
+        try:
+            yield from self.cluster.put(
+                key, payload, size, caller=self.node_id, flags=flags
+            )
+            self.stats.writes_cached += 1
+        except (CapacityExceeded, ObjectTooLarge, CacheError):
+            # No cache room: persist the payload synchronously instead.
+            self.stats.write_back_fallbacks += 1
+            if self.config.strict_consistency:
+                yield from self.store.persist_payload(
+                    bucket, name, payload, version
+                )
+            else:
+                yield from self.store.put(
+                    bucket,
+                    name,
+                    payload,
+                    size,
+                    content_type=content_type,
+                    user_meta=user_meta,
+                    internal=True,
+                )
+            return
+        # 3. Asynchronous persistence — but never for intermediates:
+        # pipeline-internal objects die in the cache (§6.3).
+        if self.config.strict_consistency and not intermediate:
+            self.persistor.schedule(bucket, name, payload, version, final=True)
+
+    # -- deletes ---------------------------------------------------------------
+
+    def delete(self, bucket: str, name: str) -> Generator[Any, Any, None]:
+        key = f"{bucket}/{name}"
+        try:
+            yield from self.cluster.delete(key, caller=self.node_id)
+        except NoSuchKey:
+            pass
+        try:
+            yield from self.store.delete(bucket, name, internal=True)
+        except NoSuchObject:
+            pass

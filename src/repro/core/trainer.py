@@ -1,0 +1,216 @@
+"""ModelTrainer: per-function model lifecycle (§5.3).
+
+The trainer listens to invocation completions, curates a small but
+valuable training set per function, checks the maturation criterion,
+and (re)trains two J48 models per function:
+
+* the **memory model** — a classifier over memory intervals;
+* the **cache-benefit model** — a binary classifier predicting whether
+  Extract+Load would dominate the invocation without a cache (§5.2).
+
+Training-set curation after maturity (§5.3.3): only underpredictions
+and extreme overpredictions (k - k* > 6 intervals) are added, and
+underprediction samples carry a higher weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import OFCConfig
+from repro.faas.records import InvocationRecord
+from repro.ml.dataset import Dataset
+from repro.ml.intervals import MemoryIntervals
+from repro.ml.tree import J48Classifier
+from repro.storage.latency_profiles import LatencyProfile, SWIFT_PROFILE
+
+
+@dataclass
+class TrainingSample:
+    features: Dict[str, Any]
+    memory_label: int
+    cache_label: int
+    weight: float = 1.0
+
+
+@dataclass
+class FunctionModels:
+    """All ML state OFC keeps for one function."""
+
+    function_key: str
+    memory_model: Optional[J48Classifier] = None
+    benefit_model: Optional[J48Classifier] = None
+    mature: bool = False
+    #: Invocations observed when the model matured (§7.1.3).
+    matured_after: Optional[int] = None
+    samples: List[TrainingSample] = field(default_factory=list)
+    invocations_seen: int = 0
+    retrains: int = 0
+
+    def memory_dataset(self) -> Dataset:
+        return Dataset(
+            [s.features for s in self.samples],
+            [s.memory_label for s in self.samples],
+            weights=[s.weight for s in self.samples],
+        )
+
+    def benefit_dataset(self) -> Dataset:
+        return Dataset(
+            [s.features for s in self.samples],
+            [s.cache_label for s in self.samples],
+        )
+
+
+class ModelTrainer:
+    """Accumulates telemetry and maintains the per-function models."""
+
+    def __init__(
+        self,
+        config: Optional[OFCConfig] = None,
+        registry=None,
+        rsds_profile: LatencyProfile = SWIFT_PROFILE,
+    ):
+        self.config = config or OFCConfig()
+        self.registry = registry
+        self.rsds_profile = rsds_profile
+        self.intervals = MemoryIntervals(
+            interval_mb=self.config.interval_mb,
+            max_mb=self.config.max_memory_mb,
+        )
+        self._models: Dict[str, FunctionModels] = {}
+        # Aggregate prediction quality (Table 2 lines 7-8).
+        self.good_predictions = 0
+        self.bad_predictions = 0
+
+    def models_for(self, function_key: str) -> FunctionModels:
+        if function_key not in self._models:
+            self._models[function_key] = FunctionModels(function_key)
+        return self._models[function_key]
+
+    # -- labels ------------------------------------------------------------
+
+    def _cache_benefit_label(self, record: InvocationRecord) -> int:
+        """Would E+L dominate this invocation *without* a cache?
+
+        Uses the known RSDS latency profile and the observed transfer
+        volumes, so the label is cache-independent even when the
+        invocation itself was served from the cache.
+        """
+        est_extract = self.rsds_profile.read.mean(record.bytes_in)
+        est_load = self.rsds_profile.write.mean(record.bytes_out)
+        transform = record.phases.transform
+        total = est_extract + est_load + transform
+        if total <= 0.0:
+            return 0
+        fraction = (est_extract + est_load) / total
+        return int(fraction > self.config.cache_benefit_threshold)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def on_completion(self, record: InvocationRecord) -> None:
+        """Platform completion listener: learn from one invocation."""
+        if record.status != "ok" or not record.features:
+            return
+        models = self.models_for(record.request.key)
+        models.invocations_seen += 1
+        true_label = self.intervals.label(record.peak_memory_mb)
+        sample = TrainingSample(
+            features=dict(record.features),
+            memory_label=true_label,
+            cache_label=self._cache_benefit_label(record),
+        )
+        retrain_now = False
+        if models.mature and record.predicted_interval is not None:
+            predicted = record.predicted_interval
+            if predicted >= true_label:
+                self.good_predictions += 1
+            else:
+                self.bad_predictions += 1
+            under = predicted < true_label
+            extreme_over = (
+                predicted - true_label > self.config.extreme_over_intervals
+            )
+            if under:
+                sample.weight = self.config.underprediction_weight
+                models.samples.append(sample)
+                # §5.3.1: memory exhaustion corrections happen quickly.
+                if record.oom_kills > 0:
+                    retrain_now = True
+            elif extreme_over:
+                models.samples.append(sample)
+            # Exact/near predictions are not added (the set stays small).
+        else:
+            models.samples.append(sample)
+        if retrain_now or models.invocations_seen % self.config.retrain_every == 0:
+            self.retrain(models)
+
+    # -- training -----------------------------------------------------------
+
+    def retrain(self, models: FunctionModels) -> None:
+        if len(models.samples) < 2:
+            return
+        dataset = models.memory_dataset()
+        if dataset.n_classes < 1:
+            return
+        models.memory_model = J48Classifier().fit(dataset)
+        benefit = models.benefit_dataset()
+        models.benefit_model = J48Classifier().fit(benefit)
+        models.retrains += 1
+        if self.registry is not None and models.function_key in self.registry:
+            self.registry.store_model(
+                models.function_key, "memory", models.memory_model
+            )
+            self.registry.store_model(
+                models.function_key, "benefit", models.benefit_model
+            )
+        if (
+            not models.mature
+            and models.invocations_seen >= self.config.min_history_for_maturity
+        ):
+            if self._check_maturity(models):
+                models.mature = True
+                models.matured_after = models.invocations_seen
+
+    def _check_maturity(self, models: FunctionModels) -> bool:
+        """The §5.3.1 maturation criterion.
+
+        Evaluated against the accumulated invocation history with the
+        freshly trained model (the check the online system can afford);
+        a pruned J48 on an unpredictable function stays close to the
+        majority class and keeps failing the 90 % EO bar.
+        """
+        dataset = models.memory_dataset()
+        if len(dataset) < 6 or models.memory_model is None:
+            return False
+        eo_hits = 0
+        under_total = 0
+        under_near = 0
+        total = 0
+        predictions = models.memory_model.predict(dataset.rows)
+        for true_label, predicted in zip(dataset.labels, predictions):
+            total += 1
+            if predicted >= true_label:
+                eo_hits += 1
+            else:
+                under_total += 1
+                if predicted == true_label - 1:
+                    under_near += 1
+        if total == 0:
+            return False
+        if eo_hits / total < self.config.maturity_eo_threshold:
+            return False
+        if under_total == 0:
+            return True
+        return under_near / under_total >= self.config.maturity_near_threshold
+
+    # -- aggregate stats -------------------------------------------------------
+
+    def all_models(self) -> List[FunctionModels]:
+        return list(self._models.values())
+
+    def maturity_report(self) -> Dict[str, Optional[int]]:
+        """function key -> invocations needed to mature (None if not yet)."""
+        return {
+            key: models.matured_after for key, models in self._models.items()
+        }

@@ -1,0 +1,72 @@
+"""OpenWhisk-like FaaS platform substrate.
+
+Implements the slice of Apache OpenWhisk the paper builds on (§2.1):
+
+* a Controller with a LoadBalancer that routes each invocation to a
+  *home* worker computed from a hash of (tenant, function), falling back
+  to the least-loaded node;
+* per-worker Invokers that create and reuse Docker-like sandboxes, keep
+  them alive for 600 s after their last use, and enforce per-sandbox
+  memory limits (cgroup semantics, including the OOM killer);
+* single-invocation-per-sandbox, never-shared-across-functions sandbox
+  management;
+* sequences/pipelines of functions, with fan-out stages;
+* automatic retry of failed (OOM-killed) invocations.
+
+OFC plugs into this platform exclusively through the strategy hooks on
+:class:`~repro.faas.platform.FaaSPlatform` (scheduler, sizing policy,
+data-client factory, monitor, completion callbacks) — mirroring how the
+paper modifies OpenWhisk rather than replacing it.
+"""
+
+from repro.faas.dataclient import DataClient, DirectStoreClient
+from repro.faas.errors import (
+    FaaSError,
+    InvocationFailed,
+    NoSuchFunction,
+    OOMKilled,
+    ResourceExhausted,
+)
+from repro.faas.invoker import Invoker
+from repro.faas.keepalive import (
+    FixedKeepAlive,
+    HistogramKeepAlive,
+    KeepAlivePolicy,
+)
+from repro.faas.pipeline import Pipeline, Stage
+from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.faas.records import (
+    InvocationRecord,
+    InvocationRequest,
+    Phases,
+)
+from repro.faas.registry import FunctionRegistry, FunctionSpec
+from repro.faas.sandbox import Sandbox, SandboxState
+from repro.faas.scheduler import HomeWorkerScheduler, Scheduler
+
+__all__ = [
+    "DataClient",
+    "DirectStoreClient",
+    "FaaSError",
+    "FaaSPlatform",
+    "FixedKeepAlive",
+    "HistogramKeepAlive",
+    "KeepAlivePolicy",
+    "FunctionRegistry",
+    "FunctionSpec",
+    "HomeWorkerScheduler",
+    "InvocationFailed",
+    "InvocationRecord",
+    "InvocationRequest",
+    "Invoker",
+    "NoSuchFunction",
+    "OOMKilled",
+    "Phases",
+    "Pipeline",
+    "PlatformConfig",
+    "ResourceExhausted",
+    "Sandbox",
+    "SandboxState",
+    "Scheduler",
+    "Stage",
+]

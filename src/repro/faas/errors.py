@@ -1,0 +1,29 @@
+"""Exception types for the FaaS platform."""
+
+
+class FaaSError(Exception):
+    """Base class for platform failures."""
+
+
+class NoSuchFunction(FaaSError):
+    """The invoked function is not registered."""
+
+
+class OOMKilled(FaaSError):
+    """The sandbox exceeded its memory limit and was killed.
+
+    ``needed_mb`` carries the actual footprint so the retry path (and
+    OFC's model correction) can use it.
+    """
+
+    def __init__(self, message: str, needed_mb: float = 0.0):
+        super().__init__(message)
+        self.needed_mb = needed_mb
+
+
+class ResourceExhausted(FaaSError):
+    """No worker node has enough free memory for the sandbox."""
+
+
+class InvocationFailed(FaaSError):
+    """The invocation failed after exhausting its retries."""

@@ -1,0 +1,381 @@
+"""Worker nodes: sandbox lifecycle and invocation execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.faas.dataclient import DataClient
+from repro.faas.errors import OOMKilled, ResourceExhausted
+from repro.faas.records import InvocationRecord
+from repro.faas.registry import FunctionSpec
+from repro.faas.sandbox import Sandbox, SandboxState
+from repro.sim.kernel import Kernel
+from repro.sim.latency import COLD_START, DOCKER_UPDATE, WARM_START
+
+#: Simulation granularity of the Transform phase's memory ramp: the
+#: footprint grows linearly across this many slices, and cgroup-limit
+#: crossings (OOM, monitor rescue) are detected at slice boundaries.
+COMPUTE_SLICES = 20
+
+#: Tolerance on limit checks (cgroup accounting is page-granular).
+_LIMIT_EPS_MB = 0.5
+
+#: Tolerance on node memory arithmetic (float MB <-> byte conversions).
+_MEM_EPS_MB = 1e-3
+
+
+@dataclass
+class InvokerStats:
+    cold_starts: int = 0
+    warm_starts: int = 0
+    sandboxes_created: int = 0
+    sandboxes_destroyed: int = 0
+    sandboxes_reaped: int = 0
+    oom_kills: int = 0
+    resizes: int = 0
+    capacity_rejections: int = 0
+
+
+class InvocationContext:
+    """What a function body sees while executing.
+
+    Provides the ETL primitives (``read``/``write``/``delete`` via the
+    data client, ``compute`` for the Transform phase) and records
+    per-phase wall-clock durations into the invocation record.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        record: InvocationRecord,
+        sandbox: Sandbox,
+        data: DataClient,
+        monitor: Optional[Any] = None,
+    ):
+        self.kernel = kernel
+        self.record = record
+        self.sandbox = sandbox
+        self.data = data
+        self.monitor = monitor
+        #: Scratch space for pipeline stages to pass values forward.
+        self.locals: Dict[str, Any] = {}
+
+    @property
+    def request(self):
+        return self.record.request
+
+    @property
+    def args(self) -> Dict[str, Any]:
+        return self.record.request.args
+
+    def read(self, bucket: str, name: str):
+        start = self.kernel.now
+        obj = yield from self.data.read(bucket, name)
+        self.record.phases.extract += self.kernel.now - start
+        self.record.bytes_in += obj.meta.size if hasattr(obj, "meta") else 0
+        return obj
+
+    def write(
+        self,
+        bucket: str,
+        name: str,
+        payload: Any,
+        size: int,
+        content_type: str = "application/octet-stream",
+        user_meta: Optional[Dict[str, Any]] = None,
+        intermediate: Optional[bool] = None,
+    ):
+        if intermediate is None:
+            # Outputs of non-final pipeline stages are intermediate data
+            # (removed from the cache when the pipeline ends, §6.3).
+            request = self.record.request
+            intermediate = (
+                request.pipeline_id is not None and not request.final_stage
+            )
+        start = self.kernel.now
+        yield from self.data.write(
+            bucket,
+            name,
+            payload,
+            size,
+            content_type=content_type,
+            user_meta=user_meta,
+            intermediate=intermediate,
+            pipeline_id=self.record.request.pipeline_id,
+        )
+        self.record.phases.load += self.kernel.now - start
+        self.record.bytes_out += size
+        self.record.output_refs.append(f"{bucket}/{name}")
+
+    def delete(self, bucket: str, name: str):
+        start = self.kernel.now
+        yield from self.data.delete(bucket, name)
+        self.record.phases.load += self.kernel.now - start
+
+    def compute(self, duration: float, footprint_mb: float):
+        """Run the Transform phase: ``duration`` seconds of work whose
+        resident set grows linearly to ``footprint_mb``.
+
+        If the footprint crosses the sandbox's cgroup limit, the OFC
+        Monitor (when attached) gets a chance to raise the cap; if it
+        does not, the invocation is OOM-killed at the crossing point —
+        exactly the failure mode §5.3.1 mitigates.
+        """
+        if duration < 0 or footprint_mb < 0:
+            raise ValueError("duration and footprint must be non-negative")
+        start = self.kernel.now
+        slices = COMPUTE_SLICES if duration > 0 else 1
+        for i in range(1, slices + 1):
+            if duration > 0:
+                yield self.kernel.timeout(duration / slices)
+            usage = footprint_mb * i / slices
+            self.sandbox.current_usage_mb = usage
+            self.record.peak_memory_mb = max(self.record.peak_memory_mb, usage)
+            if usage > self.sandbox.memory_limit_mb + _LIMIT_EPS_MB:
+                rescued = False
+                if self.monitor is not None:
+                    rescued = yield from self.monitor.on_pressure(
+                        self, usage, footprint_mb
+                    )
+                if not rescued:
+                    self.record.peak_memory_mb = max(
+                        self.record.peak_memory_mb, self.sandbox.memory_limit_mb
+                    )
+                    raise OOMKilled(
+                        f"{self.sandbox.sandbox_id}: {usage:.0f} MB > "
+                        f"{self.sandbox.memory_limit_mb:.0f} MB limit",
+                        needed_mb=footprint_mb,
+                    )
+        self.record.phases.transform += self.kernel.now - start
+
+
+class Invoker:
+    """One worker node: memory arbitration plus sandbox management.
+
+    Node memory is split between sandboxes (``committed_mb``), the OFC
+    cache (``cache_reserved_mb``, driven by the CacheAgent), the OFC
+    slack pool (``slack_mb``, §6.4) and free memory.  The baselines
+    leave the cache and slack at zero.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        node_id: str,
+        total_memory_mb: float,
+        keepalive_s: float = 600.0,
+        rng=None,
+    ):
+        self.kernel = kernel
+        self.node_id = node_id
+        self.total_memory_mb = total_memory_mb
+        self.keepalive_s = keepalive_s
+        self.rng = rng
+        self.sandboxes: List[Sandbox] = []
+        self.cache_reserved_mb = 0.0
+        self.slack_mb = 0.0
+        #: Optional adaptive keep-alive policy; None = fixed timeout.
+        self.keepalive_policy = None
+        #: Hook: generator ``(invoker, needed_mb) -> bool`` that tries to
+        #: free node memory (OFC shrinks its cache here).
+        self.ensure_capacity: Optional[Callable[..., Generator]] = None
+        #: Callbacks ``(event, sandbox)`` with event in {"created",
+        #: "destroyed", "resized"}; OFC's CacheAgent listens to retarget
+        #: the cache size.
+        self.listeners: List[Callable[[str, Sandbox], None]] = []
+        self.stats = InvokerStats()
+
+    # -- memory accounting -------------------------------------------------
+
+    @property
+    def committed_mb(self) -> float:
+        return sum(s.memory_limit_mb for s in self.sandboxes if s.alive)
+
+    @property
+    def available_mb(self) -> float:
+        return (
+            self.total_memory_mb
+            - self.committed_mb
+            - self.cache_reserved_mb
+            - self.slack_mb
+        )
+
+    def _notify(self, event: str, sandbox: Sandbox) -> None:
+        for listener in self.listeners:
+            listener(event, sandbox)
+
+    def _make_room(self, needed_mb: float):
+        """Try to free ``needed_mb`` of node memory via the hook."""
+        if needed_mb <= self.available_mb + _MEM_EPS_MB:
+            return True
+        if self.ensure_capacity is None:
+            return False
+        freed = yield from self.ensure_capacity(self, needed_mb - self.available_mb)
+        return bool(freed) and self.available_mb >= needed_mb - _MEM_EPS_MB
+
+    # -- sandbox management ---------------------------------------------------
+
+    def idle_sandboxes(self, function_key: str) -> List[Sandbox]:
+        return [
+            s
+            for s in self.sandboxes
+            if s.alive and s.idle and s.function_key == function_key
+        ]
+
+    def find_sandbox(
+        self, function_key: str, preferred_mb: Optional[float] = None
+    ) -> Optional[Sandbox]:
+        """Best idle sandbox for the function, if any.
+
+        With ``preferred_mb`` (OFC), the sandbox whose current limit is
+        closest to the predicted size wins (§6.5 criterion i); ties (and
+        the baseline) go to the most recently used (criterion iv).
+        """
+        idle = self.idle_sandboxes(function_key)
+        if not idle:
+            return None
+        if preferred_mb is None:
+            return max(idle, key=lambda s: s.last_used_at)
+        return min(
+            idle,
+            key=lambda s: (abs(s.memory_limit_mb - preferred_mb), -s.last_used_at),
+        )
+
+    def create_sandbox(
+        self, spec: FunctionSpec, memory_mb: float
+    ) -> Generator[Any, Any, Sandbox]:
+        """Cold-start a new sandbox; raises ResourceExhausted on OOM node.
+
+        The memory is committed (sandbox appended) *before* any yield so
+        that concurrent cache retargeting sees the reservation and
+        cannot re-grow the cache into it.
+        """
+        sandbox = Sandbox(self.node_id, spec.key, memory_mb, self.kernel.now)
+        self.sandboxes.append(sandbox)
+        self._notify("created", sandbox)
+        if self.available_mb < -_MEM_EPS_MB:
+            fits = yield from self._make_room(0.0)
+            if not fits:
+                self.sandboxes.remove(sandbox)
+                sandbox.kill()
+                self._notify("destroyed", sandbox)
+                self.stats.capacity_rejections += 1
+                raise ResourceExhausted(
+                    f"{self.node_id}: no room for {memory_mb:.0f} MB sandbox"
+                )
+        self.stats.sandboxes_created += 1
+        self.stats.cold_starts += 1
+        yield self.kernel.timeout(COLD_START.sample(self.rng))
+        sandbox.state = SandboxState.IDLE
+        sandbox.last_used_at = self.kernel.now
+        return sandbox
+
+    def resize_sandbox(
+        self, sandbox: Sandbox, memory_mb: float
+    ) -> Generator[Any, Any, None]:
+        """Change a sandbox's cgroup memory limit.
+
+        The accounting change is immediate; the docker-update latency is
+        paid in the background (§6.4 performs all adjustments
+        asynchronously), so this generator only blocks when node memory
+        must be reclaimed first.
+        """
+        old_limit = sandbox.memory_limit_mb
+        sandbox.set_limit(memory_mb)  # commit accounting before yielding
+        self._notify("resized", sandbox)
+        if memory_mb > old_limit and self.available_mb < -_MEM_EPS_MB:
+            fits = yield from self._make_room(0.0)
+            if not fits:
+                sandbox.set_limit(old_limit)
+                self._notify("resized", sandbox)
+                self.stats.capacity_rejections += 1
+                raise ResourceExhausted(
+                    f"{self.node_id}: no room to grow sandbox to "
+                    f"{memory_mb:.0f} MB"
+                )
+        self.stats.resizes += 1
+
+        def background_update():
+            yield self.kernel.timeout(DOCKER_UPDATE.sample(self.rng))
+
+        self.kernel.process(background_update(), name="docker-update")
+
+    def destroy_sandbox(self, sandbox: Sandbox, reaped: bool = False) -> None:
+        if not sandbox.alive:
+            return
+        sandbox.kill()
+        if sandbox in self.sandboxes:
+            self.sandboxes.remove(sandbox)
+        self.stats.sandboxes_destroyed += 1
+        if reaped:
+            self.stats.sandboxes_reaped += 1
+        self._notify("destroyed", sandbox)
+
+    def _schedule_reap(self, sandbox: Sandbox) -> None:
+        """Arm the keep-alive timer for an idle sandbox."""
+        generation = sandbox.use_generation
+        if self.keepalive_policy is not None:
+            timeout_s = self.keepalive_policy.timeout_for(sandbox)
+        else:
+            timeout_s = self.keepalive_s
+
+        def reaper():
+            yield self.kernel.timeout(timeout_s)
+            if (
+                sandbox.alive
+                and sandbox.idle
+                and sandbox.use_generation == generation
+            ):
+                self.destroy_sandbox(sandbox, reaped=True)
+
+        self.kernel.process(reaper(), name=f"reap-{sandbox.sandbox_id}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        spec: FunctionSpec,
+        record: InvocationRecord,
+        memory_mb: float,
+        data_client: DataClient,
+        monitor: Optional[Any] = None,
+    ) -> Generator[Any, Any, InvocationRecord]:
+        """Run one invocation attempt on this node.
+
+        Raises :class:`OOMKilled` (sandbox destroyed, caller retries) or
+        :class:`ResourceExhausted` (no memory for the sandbox).
+        """
+        sandbox = self.find_sandbox(spec.key, preferred_mb=memory_mb)
+        if sandbox is None:
+            sandbox = yield from self.create_sandbox(spec, memory_mb)
+            record.cold_start = True
+            sandbox.reserve()
+        else:
+            sandbox.reserve()  # before any yield: prevents double-booking
+            self.stats.warm_starts += 1
+            yield self.kernel.timeout(WARM_START.sample(self.rng))
+            if abs(sandbox.memory_limit_mb - memory_mb) > _LIMIT_EPS_MB:
+                yield from self.resize_sandbox(sandbox, memory_mb)
+        sandbox.begin_invocation(self.kernel.now)
+        record.node = self.node_id
+        record.sandbox_id = sandbox.sandbox_id
+        record.memory_limit_mb = sandbox.memory_limit_mb
+        record.started_at = self.kernel.now
+        ctx = InvocationContext(self.kernel, record, sandbox, data_client, monitor)
+        try:
+            yield from spec.body(ctx)
+        except OOMKilled:
+            self.stats.oom_kills += 1
+            record.oom_kills += 1
+            self.destroy_sandbox(sandbox)
+            raise
+        except BaseException:
+            self.destroy_sandbox(sandbox)
+            raise
+        record.finished_at = self.kernel.now
+        # The final limit may have been raised mid-flight by the Monitor.
+        record.memory_limit_mb = sandbox.memory_limit_mb
+        sandbox.end_invocation(self.kernel.now)
+        self._schedule_reap(sandbox)
+        return record

@@ -1,0 +1,92 @@
+"""Pluggable sandbox keep-alive policies.
+
+§2.2.1 discusses two worlds: the fixed idle timeout used by OpenWhisk
+(600 s) and AWS Lambda, and the histogram-based policy of Shahrad et
+al. (ATC'20) that predicts each function's next invocation and keeps
+the sandbox just long enough.  OFC only assumes *some* keep-alive
+exists; this module makes the policy a first-class, swappable object so
+the interaction between keep-alive behaviour and harvested cache memory
+can be studied.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict
+
+from repro.faas.sandbox import Sandbox
+
+
+class KeepAlivePolicy:
+    """Decides how long an idle sandbox survives."""
+
+    def timeout_for(self, sandbox: Sandbox) -> float:
+        raise NotImplementedError
+
+    def record_invocation(self, function_key: str, now: float) -> None:
+        """Telemetry hook: called for every invocation arrival."""
+
+
+class FixedKeepAlive(KeepAlivePolicy):
+    """OpenWhisk's policy: a constant idle timeout (600 s)."""
+
+    def __init__(self, timeout_s: float = 600.0):
+        if timeout_s <= 0:
+            raise ValueError("keep-alive timeout must be positive")
+        self.timeout_s = timeout_s
+
+    def timeout_for(self, sandbox: Sandbox) -> float:
+        return self.timeout_s
+
+
+class HistogramKeepAlive(KeepAlivePolicy):
+    """Shahrad-style adaptive policy.
+
+    Tracks each function's inter-arrival times in a sliding window and
+    keeps idle sandboxes alive for the observed high percentile of that
+    distribution (so the sandbox is warm for the *likely* next
+    invocation but reclaimed quickly for rarely-invoked functions).
+    Falls back to ``default_s`` until enough history exists — the
+    "must fall back on sandbox keep-alive" case §2.2.1 points out.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 95.0,
+        window: int = 50,
+        min_history: int = 5,
+        default_s: float = 600.0,
+        floor_s: float = 10.0,
+        cap_s: float = 1200.0,
+    ):
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        self.percentile = percentile
+        self.window = window
+        self.min_history = min_history
+        self.default_s = default_s
+        self.floor_s = floor_s
+        self.cap_s = cap_s
+        self._last_arrival: Dict[str, float] = {}
+        self._intervals: Dict[str, Deque[float]] = defaultdict(
+            lambda: deque(maxlen=window)
+        )
+
+    def record_invocation(self, function_key: str, now: float) -> None:
+        last = self._last_arrival.get(function_key)
+        if last is not None and now > last:
+            self._intervals[function_key].append(now - last)
+        self._last_arrival[function_key] = now
+
+    def timeout_for(self, sandbox: Sandbox) -> float:
+        intervals = self._intervals.get(sandbox.function_key)
+        if not intervals or len(intervals) < self.min_history:
+            return self.default_s
+        ordered = sorted(intervals)
+        index = min(
+            len(ordered) - 1,
+            max(0, int(len(ordered) * self.percentile / 100.0)),
+        )
+        predicted = ordered[index]
+        # Keep a margin over the predicted gap.
+        return min(self.cap_s, max(self.floor_s, 1.2 * predicted))

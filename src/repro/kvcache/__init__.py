@@ -1,0 +1,42 @@
+"""RAMCloud-like distributed in-memory key-value cache.
+
+This package reproduces the slice of RAMCloud that OFC relies on
+(§6.1): a coordinator plus per-worker storage servers, each combining a
+*master* (in-RAM primary copies, log-structured) and a *backup* (on-disk
+replica copies for other masters).  On top of vanilla RAMCloud, the
+paper's extensions are implemented here as well:
+
+* per-object read-access counter ``n_access`` and last-access epoch
+  ``t_access`` (§6.3, used by the eviction policy);
+* a 10 MB maximum object size (the paper raised RAMCloud's 1 MB limit);
+* dynamically resizable per-server memory pools (§6.4);
+* the optimized master hand-off migration that promotes a backup to
+  master without any inter-node payload transfer (§6.4).
+"""
+
+from repro.kvcache.cluster import CacheCluster
+from repro.kvcache.coordinator import Coordinator
+from repro.kvcache.errors import (
+    CacheError,
+    CapacityExceeded,
+    NoSuchKey,
+    ObjectTooLarge,
+    ServerDown,
+)
+from repro.kvcache.objects import CacheObject
+from repro.kvcache.server import CacheServer
+from repro.kvcache.log import ObjectLog, Segment
+
+__all__ = [
+    "CacheCluster",
+    "CacheError",
+    "CacheObject",
+    "CacheServer",
+    "CapacityExceeded",
+    "Coordinator",
+    "NoSuchKey",
+    "ObjectLog",
+    "ObjectTooLarge",
+    "Segment",
+    "ServerDown",
+]

@@ -1,0 +1,357 @@
+"""Data-plane facade over the cache cluster.
+
+All operations are generator methods driven by the simulation kernel.
+Each takes a ``caller`` node id; operations whose master copy lives on
+the caller's node run at RAM speed, others pay the remote path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.kvcache.coordinator import Coordinator
+from repro.kvcache.server import CacheServer
+from repro.kvcache.errors import (
+    CacheError,
+    CapacityExceeded,
+    NoSuchKey,
+    ObjectTooLarge,
+)
+from repro.kvcache.objects import (
+    BACKUP_WRITE,
+    CacheObject,
+    DISK_READ,
+    LOCAL_READ,
+    LOCAL_WRITE,
+    MAX_OBJECT_SIZE,
+    REMOTE_READ,
+    REMOTE_WRITE,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.latency import CACHE_SCALE_EVICT, CACHE_SCALE_PLAIN, MIGRATION
+
+
+@dataclass
+class ClusterStats:
+    puts: int = 0
+    gets_local: int = 0
+    gets_remote: int = 0
+    misses: int = 0
+    deletes: int = 0
+    migrations: int = 0
+    migrated_bytes: int = 0
+    recoveries: int = 0
+    recovered_objects: int = 0
+    resizes: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CacheCluster:
+    """The distributed cache as OFC's rclib sees it."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        node_ids: List[str],
+        replication_factor: int = 2,
+        rng=None,
+        max_object_size: int = MAX_OBJECT_SIZE,
+    ):
+        if not node_ids:
+            raise CacheError("cluster needs at least one node")
+        self.kernel = kernel
+        self.rng = rng
+        self.max_object_size = max_object_size
+        # Replication cannot exceed the number of other nodes.
+        effective_rf = min(replication_factor, len(node_ids) - 1)
+        self.coordinator = Coordinator(replication_factor=effective_rf)
+        for node_id in node_ids:
+            self.coordinator.register(CacheServer(node_id))
+        self.stats = ClusterStats()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def server(self, node_id: str):
+        return self.coordinator.server(node_id)
+
+    def _delay(self, model, nbytes: int = 0):
+        return self.kernel.timeout(model.sample(self.rng, nbytes))
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(s.capacity for s in self.coordinator.servers.values())
+
+    @property
+    def total_used(self) -> int:
+        return sum(s.used_bytes for s in self.coordinator.servers.values())
+
+    def contains(self, key: str) -> bool:
+        master_id = self.coordinator.master_of(key)
+        if master_id is None:
+            return False
+        return self.coordinator.server(master_id).master_has(key)
+
+    def location_of(self, key: str) -> Optional[str]:
+        """Node currently holding the master (in-memory) copy, if any."""
+        master_id = self.coordinator.master_of(key)
+        if master_id is None:
+            return None
+        server = self.coordinator.server(master_id)
+        return master_id if server.master_has(key) else None
+
+    # -- data plane ---------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        size: int,
+        caller: str,
+        flags: Optional[Dict[str, Any]] = None,
+    ) -> Generator[Any, Any, str]:
+        """Write an object; returns the master node id.
+
+        Placement prefers the caller's node (data locality for the
+        sandbox that produced the object).  Raises
+        :class:`ObjectTooLarge` or :class:`CapacityExceeded` when the
+        object cannot be admitted; OFC then falls through to the RSDS.
+        """
+        if size > self.max_object_size:
+            raise ObjectTooLarge(f"{key}: {size} bytes")
+        existing_master = self.location_of(key)
+        master_id = existing_master or self.coordinator.choose_master(
+            size, preferred=caller
+        )
+        if master_id is None:
+            raise CapacityExceeded(f"no server can fit {size} bytes")
+        master = self.coordinator.server(master_id)
+        version = 1
+        if master.master_has(key):
+            old = master.master_get(key)
+            version = old.version + 1
+            master.master_delete(key)
+        obj = CacheObject(
+            key=key,
+            value=value,
+            size=size,
+            version=version,
+            created_at=self.kernel.now,
+            t_access=self.kernel.now,
+            flags=dict(flags or {}),
+        )
+        master.master_put(obj)
+        write_model = LOCAL_WRITE if master_id == caller else REMOTE_WRITE
+        yield self._delay(write_model, size)
+        # Replicate to backups (buffered log writes, issued in parallel:
+        # the slowest one bounds the latency).
+        backup_ids = self.coordinator.backups_of(key) or set(
+            self.coordinator.choose_backups(key, master_id)
+        )
+        longest = 0.0
+        kept_backups = []
+        for backup_id in backup_ids:
+            backup = self.coordinator.server(backup_id)
+            if not backup.up:
+                continue
+            backup.backup_put(obj.copy())
+            longest = max(longest, BACKUP_WRITE.sample(self.rng, size))
+            kept_backups.append(backup_id)
+        if longest:
+            yield self.kernel.timeout(longest)
+        self.coordinator.record_placement(key, master_id, kept_backups)
+        self.stats.puts += 1
+        return master_id
+
+    def get(self, key: str, caller: str) -> Generator[Any, Any, CacheObject]:
+        """Read an object's master copy; raises NoSuchKey on miss."""
+        master_id = self.location_of(key)
+        if master_id is None:
+            self.stats.misses += 1
+            raise NoSuchKey(key)
+        master = self.coordinator.server(master_id)
+        obj = master.master_get(key)
+        read_model = LOCAL_READ if master_id == caller else REMOTE_READ
+        yield self._delay(read_model, obj.size)
+        obj.n_access += 1
+        obj.t_access = self.kernel.now
+        if master_id == caller:
+            self.stats.gets_local += 1
+        else:
+            self.stats.gets_remote += 1
+        return CacheObject(
+            key=obj.key,
+            value=obj.value,
+            size=obj.size,
+            version=obj.version,
+            created_at=obj.created_at,
+            n_access=obj.n_access,
+            t_access=obj.t_access,
+            flags=dict(obj.flags),
+        )
+
+    def peek(self, key: str) -> Optional[CacheObject]:
+        """Control-plane read without latency or access accounting."""
+        master_id = self.location_of(key)
+        if master_id is None:
+            return None
+        return self.coordinator.server(master_id).master_get(key)
+
+    def set_flags(self, key: str, **flags: Any) -> None:
+        obj = self.peek(key)
+        if obj is None:
+            raise NoSuchKey(key)
+        obj.flags.update(flags)
+
+    def delete(self, key: str, caller: str) -> Generator[Any, Any, None]:
+        """Remove an object from the cache everywhere (master+backups)."""
+        master_id = self.coordinator.master_of(key)
+        if master_id is None:
+            raise NoSuchKey(key)
+        master = self.coordinator.server(master_id)
+        if master.master_has(key):
+            master.master_delete(key)
+        for backup_id in self.coordinator.backups_of(key):
+            backup = self.coordinator.server(backup_id)
+            if backup.up:
+                backup.backup_delete(key)
+        self.coordinator.forget(key)
+        model = LOCAL_WRITE if master_id == caller else REMOTE_WRITE
+        yield self._delay(model)
+        self.stats.deletes += 1
+
+    # -- scaling primitives -----------------------------------------------------------
+
+    def scale_up(self, node_id: str, extra_bytes: int) -> Generator[Any, Any, int]:
+        """Grow a node's memory pool; returns the new capacity."""
+        if extra_bytes < 0:
+            raise CacheError("extra_bytes must be non-negative")
+        server = self.coordinator.server(node_id)
+        server.resize(server.capacity + extra_bytes)
+        yield self._delay(CACHE_SCALE_PLAIN)
+        self.stats.resizes += 1
+        return server.capacity
+
+    def scale_down(
+        self, node_id: str, new_capacity: int, evicting: bool = False
+    ) -> Generator[Any, Any, int]:
+        """Shrink a node's pool to ``new_capacity``.
+
+        The caller (OFC's CacheAgent) must have made room first via
+        eviction/migration; this op only pays the control latency
+        (§7.2.1: ~289 µs plain, ~373 µs with eviction).
+        """
+        server = self.coordinator.server(node_id)
+        server.resize(new_capacity)
+        model = CACHE_SCALE_EVICT if evicting else CACHE_SCALE_PLAIN
+        yield self._delay(model)
+        self.stats.resizes += 1
+        return server.capacity
+
+    def migrate_master(
+        self, key: str, target: Optional[str] = None
+    ) -> Generator[Any, Any, Optional[str]]:
+        """Optimized master hand-off (§6.4).
+
+        A new master is elected among the *backup* nodes (which already
+        hold an on-disk copy), the object is loaded from the new
+        master's local disk, and the old master demotes itself to a
+        backup.  No inter-node payload transfer occurs.  Returns the new
+        master id, or None when no backup can take over.
+        """
+        master_id = self.coordinator.master_of(key)
+        if master_id is None:
+            raise NoSuchKey(key)
+        old_master = self.coordinator.server(master_id)
+        obj = old_master.master_get(key)
+        candidates = [
+            self.coordinator.server(b)
+            for b in self.coordinator.backups_of(key)
+            if (target is None or b == target)
+        ]
+        candidates = [
+            s
+            for s in candidates
+            if s.up and s.backup_has(key) and s.can_fit(obj.size)
+        ]
+        if not candidates:
+            return None
+        new_master = max(candidates, key=lambda s: s.free_bytes)
+        # Promote from the new master's local (buffered) backup copy and
+        # drop the old RAM copy.  No payload crosses the network, and
+        # backup segments are RAM-buffered, so the whole hand-off is
+        # covered by the MIGRATION model (0.18 ms per 8 MB, §7.2.1).
+        promoted = new_master.promote(key)
+        promoted.value = obj.value
+        promoted.version = obj.version
+        promoted.n_access = obj.n_access
+        promoted.t_access = obj.t_access
+        promoted.flags = dict(obj.flags)
+        old_master.demote(key)
+        self.coordinator.record_master_change(key, new_master.server_id)
+        yield self._delay(MIGRATION, obj.size)
+        self.stats.migrations += 1
+        self.stats.migrated_bytes += obj.size
+        return new_master.server_id
+
+    # -- failures -----------------------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        self.coordinator.server(node_id).crash()
+
+    def recover(self, node_id: str) -> Generator[Any, Any, int]:
+        """Recover the master copies a crashed node held, by promoting
+        backup copies on the surviving nodes (RAMCloud fast recovery).
+
+        Returns the number of objects recovered; objects whose every
+        backup is also down are lost from the cache (they still exist in
+        the RSDS or are re-created by retried invocations).
+        """
+        recovered = 0
+        for key in self.coordinator.keys_mastered_by(node_id):
+            candidates = [
+                self.coordinator.server(b)
+                for b in self.coordinator.backups_of(key)
+            ]
+            candidates = [s for s in candidates if s.up and s.backup_has(key)]
+            obj_size = candidates[0].backup_get(key).size if candidates else 0
+            candidates = [s for s in candidates if s.can_fit(obj_size)]
+            if not candidates:
+                self.coordinator.forget(key)
+                continue
+            new_master = max(candidates, key=lambda s: s.free_bytes)
+            yield self._delay(DISK_READ, obj_size)
+            obj = new_master.promote(key)
+            # The crashed node holds no copy any more: rebuild the backup
+            # set from the surviving replicas and re-replicate up to the
+            # configured factor.
+            surviving = {
+                b
+                for b in self.coordinator.backups_of(key)
+                if b != new_master.server_id
+                and self.coordinator.server(b).up
+                and self.coordinator.server(b).backup_has(key)
+            }
+            missing = self.coordinator.replication_factor - len(surviving)
+            if missing > 0:
+                for backup_id in self.coordinator.choose_backups(
+                    key, new_master.server_id
+                ):
+                    if missing <= 0:
+                        break
+                    if backup_id in surviving or backup_id == node_id:
+                        continue
+                    backup = self.coordinator.server(backup_id)
+                    backup.backup_put(obj.copy())
+                    yield self._delay(BACKUP_WRITE, obj.size)
+                    surviving.add(backup_id)
+                    missing -= 1
+            self.coordinator.record_placement(
+                key, new_master.server_id, sorted(surviving)
+            )
+            recovered += 1
+        self.stats.recoveries += 1
+        self.stats.recovered_objects += recovered
+        return recovered

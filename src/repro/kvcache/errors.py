@@ -1,0 +1,21 @@
+"""Exception types for the distributed cache."""
+
+
+class CacheError(Exception):
+    """Base class for cache failures."""
+
+
+class NoSuchKey(CacheError):
+    """The key is not present in the cache."""
+
+
+class ObjectTooLarge(CacheError):
+    """Object exceeds the cache's maximum object size (10 MB)."""
+
+
+class CapacityExceeded(CacheError):
+    """The target server's memory pool cannot hold the object."""
+
+
+class ServerDown(CacheError):
+    """Operation addressed to a crashed server."""

@@ -1,0 +1,40 @@
+"""Machine-learning module (from-scratch reimplementations).
+
+The paper evaluates four decision-tree classifiers from Weka — J48
+(C4.5), RandomForest, RandomTree and HoeffdingTree — on the task of
+predicting a function invocation's memory interval from request
+features, and uses J48 both for memory prediction and for the binary
+cache-benefit classifier (§5).  This package reimplements all four on
+numpy, plus the dataset plumbing, interval discretization and the
+evaluation metrics (exact / exact-or-over accuracy, precision/recall/F,
+k-fold cross-validation) used by Table 1 and §7.1.
+"""
+
+from repro.ml.dataset import Dataset
+from repro.ml.hoeffding import HoeffdingTreeClassifier
+from repro.ml.intervals import MemoryIntervals
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    cross_validate,
+    eo_accuracy,
+    f_measure,
+    precision_recall,
+)
+from repro.ml.forest import RandomForestClassifier, RandomTreeClassifier
+from repro.ml.tree import J48Classifier
+
+__all__ = [
+    "Dataset",
+    "HoeffdingTreeClassifier",
+    "J48Classifier",
+    "MemoryIntervals",
+    "RandomForestClassifier",
+    "RandomTreeClassifier",
+    "accuracy",
+    "confusion_matrix",
+    "cross_validate",
+    "eo_accuracy",
+    "f_measure",
+    "precision_recall",
+]

@@ -1,0 +1,98 @@
+"""Random-tree family: RandomTree and RandomForest (Table 1).
+
+Both follow Weka's formulation: a RandomTree considers a random subset
+of ``K = floor(log2(p)) + 1`` features at each node and is unpruned; a
+RandomForest bags ``n_trees`` RandomTrees and takes a majority vote.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+from repro.ml.tree import J48Classifier
+
+
+def _default_subset_size(n_features: int) -> int:
+    return max(1, int(math.log2(max(n_features, 2))) + 1)
+
+
+class RandomTreeClassifier:
+    """A single unpruned tree with per-node random feature subsets."""
+
+    def __init__(
+        self,
+        feature_subset: Optional[int] = None,
+        min_leaf: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.feature_subset = feature_subset
+        self.min_leaf = min_leaf
+        self.rng = rng or np.random.default_rng(0)
+        self._tree: Optional[J48Classifier] = None
+
+    def fit(self, dataset: Dataset) -> "RandomTreeClassifier":
+        subset = self.feature_subset or _default_subset_size(
+            len(dataset.feature_names)
+        )
+        self._tree = J48Classifier(
+            min_leaf=self.min_leaf,
+            prune=False,
+            feature_subset=subset,
+            rng=self.rng,
+        )
+        self._tree.fit(dataset)
+        return self
+
+    def predict_one(self, row: Dict[str, Any]) -> int:
+        if self._tree is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._tree.predict_one(row)
+
+    def predict(self, rows: Sequence[Dict[str, Any]]) -> np.ndarray:
+        return np.asarray([self.predict_one(row) for row in rows])
+
+
+class RandomForestClassifier:
+    """Bagged RandomTrees with majority voting."""
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        feature_subset: Optional[int] = None,
+        min_leaf: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_trees < 1:
+            raise ValueError("need at least one tree")
+        self.n_trees = n_trees
+        self.feature_subset = feature_subset
+        self.min_leaf = min_leaf
+        self.rng = rng or np.random.default_rng(0)
+        self._trees: list = []
+
+    def fit(self, dataset: Dataset) -> "RandomForestClassifier":
+        self._trees = []
+        for _ in range(self.n_trees):
+            sample = dataset.bootstrap(self.rng)
+            tree = RandomTreeClassifier(
+                feature_subset=self.feature_subset,
+                min_leaf=self.min_leaf,
+                rng=self.rng,
+            )
+            tree.fit(sample)
+            self._trees.append(tree)
+        return self
+
+    def predict_one(self, row: Dict[str, Any]) -> int:
+        if not self._trees:
+            raise RuntimeError("classifier is not fitted")
+        votes = Counter(tree.predict_one(row) for tree in self._trees)
+        return votes.most_common(1)[0][0]
+
+    def predict(self, rows: Sequence[Dict[str, Any]]) -> np.ndarray:
+        return np.asarray([self.predict_one(row) for row in rows])

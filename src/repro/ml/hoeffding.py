@@ -1,0 +1,316 @@
+"""HoeffdingTree (VFDT): an incremental decision-tree learner.
+
+The fourth classifier of Table 1.  Leaves accumulate sufficient
+statistics (per-class counts; per-class Gaussian estimators for numeric
+attributes, value/class contingency tables for nominal ones) and are
+split once the Hoeffding bound guarantees the best split beats the
+runner-up with confidence 1-delta.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+
+_EPS = 1e-12
+
+
+def _entropy_from_counts(counts: Dict[int, float]) -> float:
+    total = sum(counts.values())
+    if total <= 0:
+        return 0.0
+    result = 0.0
+    for value in counts.values():
+        if value > 0:
+            p = value / total
+            result -= p * math.log2(p)
+    return result
+
+
+class _GaussianEstimator:
+    """Running mean/variance (Welford) for one (attribute, class)."""
+
+    __slots__ = ("n", "mean", "m2", "min", "max")
+
+    def __init__(self):
+        self.n = 0.0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        self.n += weight
+        delta = value - self.mean
+        self.mean += weight * delta / self.n
+        self.m2 += weight * delta * (value - self.mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def std(self) -> float:
+        if self.n <= 1:
+            return 0.0
+        return math.sqrt(max(self.m2 / (self.n - 1), 0.0))
+
+    def probability_leq(self, value: float) -> float:
+        """P(X <= value) under the fitted Gaussian."""
+        if self.n == 0:
+            return 0.0
+        std = self.std
+        if std < _EPS:
+            return 1.0 if value >= self.mean else 0.0
+        z = (value - self.mean) / std
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+class _LeafStats:
+    """Sufficient statistics held at one growing leaf."""
+
+    def __init__(self, feature_types: Dict[str, str]):
+        self.feature_types = feature_types
+        self.class_counts: Dict[int, float] = {}
+        self.nominal: Dict[str, Dict[Any, Dict[int, float]]] = {}
+        self.numeric: Dict[str, Dict[int, _GaussianEstimator]] = {}
+        self.seen_since_eval = 0
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self.class_counts.values())
+
+    def majority(self) -> int:
+        if not self.class_counts:
+            return 0
+        return max(self.class_counts.items(), key=lambda kv: kv[1])[0]
+
+    def add(self, row: Dict[str, Any], label: int, weight: float) -> None:
+        self.class_counts[label] = self.class_counts.get(label, 0.0) + weight
+        self.seen_since_eval += 1
+        for name, kind in self.feature_types.items():
+            value = row.get(name)
+            if value is None:
+                continue
+            if kind == "nominal":
+                table = self.nominal.setdefault(name, {})
+                counts = table.setdefault(value, {})
+                counts[label] = counts.get(label, 0.0) + weight
+            else:
+                try:
+                    numeric = float(value)
+                except (TypeError, ValueError):
+                    continue  # opaque value that is not numeric: skip
+                estimators = self.numeric.setdefault(name, {})
+                estimator = estimators.setdefault(label, _GaussianEstimator())
+                estimator.add(numeric, weight)
+
+    # -- candidate split evaluation -----------------------------------------
+
+    def best_splits(self) -> List[tuple]:
+        """Top candidate splits as (gain, feature, threshold_or_None)."""
+        parent_entropy = _entropy_from_counts(self.class_counts)
+        total = self.total_weight
+        candidates: List[tuple] = [(0.0, None, None)]  # "no split" baseline
+        for name, kind in self.feature_types.items():
+            if kind == "nominal":
+                table = self.nominal.get(name)
+                if not table or len(table) < 2:
+                    continue
+                children_entropy = 0.0
+                for counts in table.values():
+                    weight = sum(counts.values())
+                    children_entropy += (
+                        weight * _entropy_from_counts(counts) / total
+                    )
+                candidates.append((parent_entropy - children_entropy, name, None))
+            else:
+                estimators = self.numeric.get(name)
+                if not estimators or len(estimators) < 2:
+                    continue
+                gain, threshold = self._best_numeric_split(
+                    estimators, parent_entropy, total
+                )
+                if threshold is not None:
+                    candidates.append((gain, name, threshold))
+        candidates.sort(key=lambda c: c[0], reverse=True)
+        return candidates
+
+    def _best_numeric_split(self, estimators, parent_entropy, total):
+        lo = min(e.min for e in estimators.values())
+        hi = max(e.max for e in estimators.values())
+        if not math.isfinite(lo) or hi - lo < _EPS:
+            return 0.0, None
+        best_gain, best_threshold = 0.0, None
+        for i in range(1, 10):
+            threshold = lo + (hi - lo) * i / 10.0
+            left: Dict[int, float] = {}
+            right: Dict[int, float] = {}
+            for label, est in estimators.items():
+                p_left = est.probability_leq(threshold)
+                left[label] = est.n * p_left
+                right[label] = est.n * (1.0 - p_left)
+            lw, rw = sum(left.values()), sum(right.values())
+            if lw < _EPS or rw < _EPS:
+                continue
+            children_entropy = (
+                lw * _entropy_from_counts(left)
+                + rw * _entropy_from_counts(right)
+            ) / total
+            gain = parent_entropy - children_entropy
+            if gain > best_gain:
+                best_gain, best_threshold = gain, threshold
+        return best_gain, best_threshold
+
+
+class _HNode:
+    __slots__ = ("stats", "feature", "threshold", "children", "prediction")
+
+    def __init__(self, stats: Optional[_LeafStats]):
+        self.stats = stats  # non-None while the node is a growing leaf
+        self.feature: Optional[str] = None
+        self.threshold: Optional[float] = None
+        self.children: Dict[Any, "_HNode"] = {}
+        self.prediction = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class HoeffdingTreeClassifier:
+    """Very Fast Decision Tree (Domingos & Hulten)."""
+
+    def __init__(
+        self,
+        delta: float = 1e-5,
+        tie_threshold: float = 0.05,
+        grace_period: int = 50,
+        n_classes: Optional[int] = None,
+    ):
+        self.delta = delta
+        self.tie_threshold = tie_threshold
+        self.grace_period = grace_period
+        self.n_classes = n_classes
+        self._root: Optional[_HNode] = None
+        self._feature_types: Dict[str, str] = {}
+
+    # -- batch API (fit on a Dataset, like the other classifiers) --------------
+
+    def fit(self, dataset: Dataset) -> "HoeffdingTreeClassifier":
+        self._feature_types = {
+            name: dataset.feature_type(name) for name in dataset.feature_names
+        }
+        if self.n_classes is None:
+            self.n_classes = dataset.n_classes
+        self._root = _HNode(_LeafStats(self._feature_types))
+        for row, label, weight in zip(
+            dataset.rows, dataset.labels, dataset.weights
+        ):
+            self.learn_one(row, int(label), float(weight))
+        return self
+
+    # -- incremental API --------------------------------------------------------
+
+    def learn_one(
+        self, row: Dict[str, Any], label: int, weight: float = 1.0
+    ) -> None:
+        if self._root is None:
+            if not self._feature_types:
+                self._feature_types = {
+                    name: (
+                        "nominal"
+                        if isinstance(value, (str, bool))
+                        else "numeric"
+                    )
+                    for name, value in row.items()
+                }
+            self._root = _HNode(_LeafStats(self._feature_types))
+        node = self._sort_to_leaf(row)
+        stats = node.stats
+        stats.add(row, label, weight)
+        node.prediction = stats.majority()
+        if stats.seen_since_eval >= self.grace_period:
+            stats.seen_since_eval = 0
+            self._try_split(node)
+
+    def _sort_to_leaf(self, row: Dict[str, Any]) -> _HNode:
+        node = self._root
+        while not node.is_leaf:
+            if node.threshold is not None:
+                try:
+                    side = "<=" if float(row.get(node.feature, 0.0)) <= node.threshold else ">"
+                except (TypeError, ValueError):
+                    side = "<="
+                node = node.children[side]
+            else:
+                child = node.children.get(row.get(node.feature))
+                if child is None:
+                    # Unseen nominal value: grow a new branch.
+                    child = _HNode(_LeafStats(self._feature_types))
+                    child.prediction = node.prediction
+                    node.children[row.get(node.feature)] = child
+                node = child
+        return node
+
+    def _hoeffding_bound(self, n: float) -> float:
+        value_range = math.log2(max(self.n_classes or 2, 2))
+        return math.sqrt(
+            value_range * value_range * math.log(1.0 / self.delta) / (2.0 * n)
+        )
+
+    def _try_split(self, node: _HNode) -> None:
+        stats = node.stats
+        n = stats.total_weight
+        if n < 2 or len(stats.class_counts) < 2:
+            return
+        candidates = stats.best_splits()
+        if len(candidates) < 2 or candidates[0][1] is None:
+            return
+        g1 = candidates[0][0]
+        g2 = candidates[1][0]
+        bound = self._hoeffding_bound(n)
+        if g1 - g2 > bound or bound < self.tie_threshold:
+            _gain, feature, threshold = candidates[0]
+            node.feature = feature
+            node.threshold = threshold
+            majority = stats.majority()
+            if threshold is not None:
+                for side in ("<=", ">"):
+                    child = _HNode(_LeafStats(self._feature_types))
+                    child.prediction = majority
+                    node.children[side] = child
+            else:
+                for value in stats.nominal.get(feature, {}):
+                    child = _HNode(_LeafStats(self._feature_types))
+                    counts = stats.nominal[feature][value]
+                    child.prediction = max(
+                        counts.items(), key=lambda kv: kv[1]
+                    )[0]
+                    node.children[value] = child
+            node.stats = None
+
+    # -- prediction ----------------------------------------------------------------
+
+    def predict_one(self, row: Dict[str, Any]) -> int:
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            if node.threshold is not None:
+                try:
+                    numeric = float(row.get(node.feature, 0.0))
+                except (TypeError, ValueError):
+                    numeric = 0.0
+                node = node.children["<=" if numeric <= node.threshold else ">"]
+            else:
+                child = node.children.get(row.get(node.feature))
+                if child is None:
+                    break
+                node = child
+        return node.prediction
+
+    def predict(self, rows: Sequence[Dict[str, Any]]) -> np.ndarray:
+        return np.asarray([self.predict_one(row) for row in rows])

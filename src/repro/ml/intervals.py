@@ -1,0 +1,48 @@
+"""Memory-interval discretization (§5.1.1).
+
+OpenWhisk permits sandbox memory in [0, 2] GB; OFC divides that range
+into fixed-size intervals and formulates memory prediction as
+classification over interval indices.  The amount of memory to allocate
+is the *upper bound* of the predicted interval, and the paper's
+conservative policy additionally bumps the prediction one interval up
+once the model is mature (§5.3.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class MemoryIntervals:
+    """Maps memory amounts (MB) to classification intervals and back."""
+
+    def __init__(self, interval_mb: float = 16.0, max_mb: float = 2048.0):
+        if interval_mb <= 0 or max_mb <= 0:
+            raise ValueError("interval and max must be positive")
+        self.interval_mb = interval_mb
+        self.max_mb = max_mb
+        self.n_classes = int(math.ceil(max_mb / interval_mb))
+
+    def label(self, memory_mb: float) -> int:
+        """Interval index containing ``memory_mb`` (clamped to range)."""
+        if memory_mb <= 0:
+            return 0
+        # The tiny epsilon keeps exact upper bounds in their own
+        # interval despite floating-point division error.
+        index = int(math.ceil(memory_mb / self.interval_mb - 1e-9)) - 1
+        return max(0, min(index, self.n_classes - 1))
+
+    def upper_bound_mb(self, label: int) -> float:
+        """The allocation for a predicted interval: its upper bound."""
+        label = max(0, min(label, self.n_classes - 1))
+        return (label + 1) * self.interval_mb
+
+    def bump(self, label: int, intervals: int = 1) -> int:
+        """Conservative adjustment: ``intervals`` steps up (§5.3.1)."""
+        return min(label + intervals, self.n_classes - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryIntervals({self.interval_mb} MB x {self.n_classes} "
+            f"up to {self.max_mb} MB)"
+        )

@@ -1,0 +1,93 @@
+"""Evaluation metrics for the classifiers (§7.1).
+
+``eo_accuracy`` is the paper's exact-or-over metric: the fraction of
+predictions whose interval index is >= the true index, the quantity the
+maturation criterion (§5.3.1) is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def eo_accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Exact-or-over accuracy: prediction interval >= true interval."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_pred >= y_true).mean())
+
+
+def confusion_matrix(
+    y_true: Sequence[int], y_pred: Sequence[int], n_classes: int = 0
+) -> np.ndarray:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if n_classes == 0:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def precision_recall(
+    y_true: Sequence[int], y_pred: Sequence[int], positive: int = 1
+) -> Tuple[float, float]:
+    """Precision and recall of the ``positive`` class."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = int(((y_pred == positive) & (y_true == positive)).sum())
+    fp = int(((y_pred == positive) & (y_true != positive)).sum())
+    fn = int(((y_pred != positive) & (y_true == positive)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    return precision, recall
+
+
+def f_measure(
+    y_true: Sequence[int], y_pred: Sequence[int], positive: int = 1
+) -> float:
+    """Harmonic mean of precision and recall (the paper's global score)."""
+    precision, recall = precision_recall(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def cross_validate(
+    make_classifier: Callable[[], object],
+    dataset: Dataset,
+    k: int = 10,
+    rng=None,
+    metrics: Dict[str, Callable] = None,
+) -> Dict[str, float]:
+    """K-fold cross-validation; returns the mean of each metric.
+
+    ``metrics`` maps names to ``metric(y_true, y_pred) -> float``;
+    defaults to exact and exact-or-over accuracy (Table 1's columns).
+    """
+    if metrics is None:
+        metrics = {"exact": accuracy, "exact_or_over": eo_accuracy}
+    sums = {name: 0.0 for name in metrics}
+    folds = dataset.split_folds(k, rng=rng)
+    for train, test in folds:
+        classifier = make_classifier()
+        classifier.fit(train)
+        y_pred = classifier.predict(test.rows)
+        for name, metric in metrics.items():
+            sums[name] += metric(test.labels, y_pred)
+    return {name: value / len(folds) for name, value in sums.items()}

@@ -1,0 +1,361 @@
+"""Event loop and process machinery for the discrete-event simulator.
+
+The design follows the classic process-interaction style: simulation
+logic is written as Python generators that ``yield`` :class:`Event`
+objects.  When a yielded event triggers, the process resumes with the
+event's value; if the event failed, the exception is thrown into the
+generator at the yield point.
+
+Time is a float in **seconds**.  All ordering is deterministic: events
+scheduled for the same instant fire in schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the queue, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules its callbacks to run at the current
+    simulation time.
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        #: Set to True by a waiter (Process/AnyOf) that consumed the failure,
+        #: suppressing the "unhandled failed event" error.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event triggered successfully."""
+        if not self.triggered:
+            raise SimulationError("event has not triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event has not triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.kernel._enqueue(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = _TRIGGERED
+        self.kernel._enqueue(0.0, self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self.defused:
+            raise self._exception
+
+    def wait(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self._state == _PROCESSED:
+            # Already done: deliver on a fresh queue slot, preserving the
+            # invariant that callbacks never run re-entrantly.
+            proxy = Event(self.kernel)
+            proxy.callbacks.append(callback)
+            proxy._value = self._value
+            proxy._exception = self._exception
+            if self._exception is not None:
+                proxy.defused = True  # the original already surfaced/defused
+            proxy._state = _TRIGGERED
+            self.kernel._enqueue(0.0, proxy)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(kernel)
+        self._value = value
+        self._state = _TRIGGERED
+        self.delay = delay
+        kernel._enqueue(delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on termination."""
+
+    def __init__(self, kernel: "Kernel", generator: Generator, name: str = ""):
+        super().__init__(kernel)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError("Process requires a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once at the current instant.
+        kick = Event(kernel)
+        kick._state = _TRIGGERED
+        kick.callbacks.append(self._resume)
+        kernel._enqueue(0.0, kick)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self.triggered:
+            return
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        kick = Event(self.kernel)
+        kick._exception = Interrupt(cause)
+        kick.defused = True
+        kick._state = _TRIGGERED
+        kick.callbacks.append(self._resume)
+        self.kernel._enqueue(0.0, kick)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.kernel._active_process = self
+        try:
+            if event._exception is not None:
+                event.defused = True
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self.kernel._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled Interrupt terminates the process as a failure.
+            self.kernel._active_process = None
+            self._exception = exc
+            self._state = _TRIGGERED
+            self.kernel._enqueue(0.0, self)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.kernel._active_process = None
+            self._exception = exc
+            self._state = _TRIGGERED
+            self.kernel._enqueue(0.0, self)
+            return
+        self.kernel._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.kernel is not self.kernel:
+            raise SimulationError("yielded an event from another kernel")
+        self._target = target
+        target.wait(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf combinators."""
+
+    def __init__(self, kernel: "Kernel", events: Iterable[Event]):
+        super().__init__(kernel)
+        self.events = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.kernel is not self.kernel:
+                raise SimulationError("mixing events of different kernels")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            self._pending += 1
+            event.wait(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        # Only *processed* events count as fired: a Timeout is born in the
+        # triggered state, but it has not occurred until its callbacks run.
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event._exception is None
+        }
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have triggered.
+
+    Fails as soon as any constituent fails.
+    """
+
+    def _check(self, event: Event) -> None:
+        self._pending -= 1
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+        elif self._pending == 0:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event triggers."""
+
+    def _check(self, event: Event) -> None:
+        self._pending -= 1
+        if self.triggered:
+            if event._exception is not None:
+                event.defused = True
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+        else:
+            self.succeed(self._results())
+
+
+class Kernel:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def _enqueue(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the queue drains earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until(self, event: Event) -> Any:
+        """Step the loop only until ``event`` completes, then stop.
+
+        Unlike :meth:`run_process`, pending future work (keep-alive
+        timers, background persistors, …) is left on the queue, so the
+        clock does not race ahead of the event being waited on.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError(
+                    "queue drained before the awaited event triggered"
+                )
+            self.step()
+        return event.value
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run ``generator`` to completion, return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked (queue drained while waiting)"
+            )
+        return proc.value

@@ -1,0 +1,98 @@
+"""Counting resources and object stores for simulation processes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.kernel import Event, Kernel, SimulationError
+
+
+class Resource:
+    """A counting resource with FIFO queueing.
+
+    Processes acquire capacity with ``yield resource.acquire(n)`` and must
+    release it with ``resource.release(n)``.  Used to model CPU slots on
+    invoker nodes and concurrency limits in the storage services.
+    """
+
+    def __init__(self, kernel: Kernel, capacity: int):
+        if capacity < 0:
+            raise SimulationError("resource capacity must be non-negative")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self, amount: int = 1) -> Event:
+        if amount <= 0:
+            raise SimulationError("acquire amount must be positive")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"acquire({amount}) exceeds capacity {self.capacity}"
+            )
+        event = Event(self.kernel)
+        if not self._waiters and self.in_use + amount <= self.capacity:
+            self.in_use += amount
+            event.succeed(amount)
+        else:
+            self._waiters.append((event, amount))
+        return event
+
+    def release(self, amount: int = 1) -> None:
+        if amount <= 0:
+            raise SimulationError("release amount must be positive")
+        if amount > self.in_use:
+            raise SimulationError("releasing more than is in use")
+        self.in_use -= amount
+        self._drain()
+
+    def resize(self, capacity: int) -> None:
+        """Change total capacity; shrinking never revokes granted units."""
+        if capacity < 0:
+            raise SimulationError("resource capacity must be non-negative")
+        self.capacity = capacity
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters:
+            event, amount = self._waiters[0]
+            if self.in_use + amount > self.capacity:
+                break
+            self._waiters.popleft()
+            self.in_use += amount
+            event.succeed(amount)
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.kernel)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def snapshot(self) -> List[Any]:
+        """Non-destructive view of the queued items (for tests/metrics)."""
+        return list(self._items)

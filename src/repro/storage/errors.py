@@ -1,0 +1,17 @@
+"""Exception types for the object store."""
+
+
+class StorageError(Exception):
+    """Base class for object-store failures."""
+
+
+class NoSuchBucket(StorageError):
+    """The referenced bucket does not exist."""
+
+
+class NoSuchObject(StorageError):
+    """The referenced object does not exist in the bucket."""
+
+
+class BucketExists(StorageError):
+    """Attempted to create a bucket that already exists."""

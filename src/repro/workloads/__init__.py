@@ -1,0 +1,50 @@
+"""Workload substrate: synthetic functions, pipelines and load injection.
+
+The paper evaluates OFC with 19 multimedia single-stage functions and
+four multi-stage applications (MapReduce word count, THIS, IMAD,
+ServerlessBench Image Processing), driven by the FaaSLoad injector.
+None of the real binaries (ImageMagick/Wand, sharp, ffmpeg, …) can run
+here, so each function is modelled by a :class:`FunctionModel` whose
+*hidden* memory footprint and transform time are non-trivial functions
+of the media's metadata and the function-specific arguments — shaped
+after the paper's own Figure 2 (no precise correlation with byte size
+or any single argument alone).
+"""
+
+from repro.workloads.media import (
+    AudioDescriptor,
+    ImageDescriptor,
+    MediaCorpus,
+    TextDescriptor,
+    VideoDescriptor,
+)
+from repro.workloads.functions import (
+    ALL_FUNCTIONS,
+    FIGURE7_FUNCTIONS,
+    FunctionModel,
+    get_function_model,
+)
+from repro.workloads.pipelines import (
+    ALL_PIPELINES,
+    PipelineApp,
+    get_pipeline_app,
+)
+from repro.workloads.faasload import FaaSLoad, TenantProfile, TenantSpec
+
+__all__ = [
+    "ALL_FUNCTIONS",
+    "ALL_PIPELINES",
+    "AudioDescriptor",
+    "FIGURE7_FUNCTIONS",
+    "FaaSLoad",
+    "FunctionModel",
+    "ImageDescriptor",
+    "MediaCorpus",
+    "PipelineApp",
+    "TenantProfile",
+    "TenantSpec",
+    "TextDescriptor",
+    "VideoDescriptor",
+    "get_function_model",
+    "get_pipeline_app",
+]

@@ -1,0 +1,265 @@
+"""FaaSLoad: the multi-tenant load injector (§7.2.2 and Appendix A).
+
+FaaSLoad prepares input datasets in the RSDS, registers each tenant's
+function with a booked memory that matches the tenant's *profile*, and
+fires invocations at configurable intervals (periodic or exponential).
+
+Tenant profiles (§7.2.2):
+
+* ``NAIVE`` — books the maximum OpenWhisk allows (2 GB);
+* ``ADVANCED`` — books the maximum memory the function has ever used
+  (estimated from previous runs);
+* ``NORMAL`` — books 1.7x the advanced amount (the common
+  over-provisioning the AWS traces show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.faas.platform import FaaSPlatform
+from repro.faas.records import InvocationRecord, InvocationRequest
+from repro.sim.kernel import Kernel
+from repro.sim.latency import KB, MB
+from repro.workloads.functions import FunctionModel, get_function_model
+from repro.workloads.media import MediaCorpus
+from repro.workloads.pipelines import PipelineApp, get_pipeline_app
+
+
+class TenantProfile(Enum):
+    NAIVE = "naive"
+    ADVANCED = "advanced"
+    NORMAL = "normal"
+
+
+@dataclass
+class TenantSpec:
+    """One emulated tenant: a function (or pipeline) plus its load."""
+
+    tenant_id: str
+    #: Name of a single-stage function model, or of a pipeline app.
+    workload: str
+    profile: TenantProfile = TenantProfile.NORMAL
+    mean_interval_s: float = 60.0
+    #: Arrival process: "exponential" (Poisson, the paper's macro
+    #: setting), "periodic", or "bursty" (geometric bursts separated by
+    #: long gaps — the §2.2.1 pattern that justifies keep-alive).
+    arrival: str = "exponential"
+    #: Mean invocations per burst (bursty arrivals only).
+    burst_size: float = 5.0
+    #: Intra-burst gap (bursty arrivals only).
+    burst_gap_s: float = 0.5
+    #: Byte-size targets for this tenant's input objects.
+    input_sizes: List[int] = field(
+        default_factory=lambda: [16 * KB, 64 * KB, 256 * KB, 1 * MB, 3 * MB]
+    )
+    n_inputs: int = 10
+
+    @property
+    def is_pipeline(self) -> bool:
+        from repro.workloads.pipelines import ALL_PIPELINES
+
+        return self.workload in ALL_PIPELINES
+
+
+def estimate_max_footprint_mb(
+    model: FunctionModel,
+    corpus_descriptors: List[Any],
+    rng: np.random.Generator,
+    samples: int = 200,
+) -> float:
+    """The 'advanced' tenant's estimate: max footprint over past runs."""
+    peak = 0.0
+    for _ in range(samples):
+        media = corpus_descriptors[int(rng.integers(0, len(corpus_descriptors)))]
+        args = model.sample_args(rng)
+        peak = max(peak, model.footprint_mb(media, args, rng))
+    return peak
+
+
+def booked_memory_for(
+    profile: TenantProfile, advanced_estimate_mb: float, max_mb: float = 2048.0
+) -> float:
+    if profile == TenantProfile.NAIVE:
+        return max_mb
+    if profile == TenantProfile.ADVANCED:
+        return min(max_mb, advanced_estimate_mb)
+    return min(max_mb, 1.7 * advanced_estimate_mb)
+
+
+@dataclass
+class TenantRuntime:
+    spec: TenantSpec
+    model: Optional[FunctionModel] = None
+    app: Optional[PipelineApp] = None
+    input_refs: List[str] = field(default_factory=list)
+    descriptors: List[Any] = field(default_factory=list)
+    booked_mb: float = 0.0
+    records: List[InvocationRecord] = field(default_factory=list)
+    pipeline_records: List[Any] = field(default_factory=list)
+    invocations_fired: int = 0
+    #: Per-tenant stream: arrival times and argument draws stay
+    #: identical across compared systems regardless of interleaving.
+    rng: Optional[np.random.Generator] = None
+
+
+class FaaSLoad:
+    """Prepares datasets and drives multi-tenant invocation schedules."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        platform: FaaSPlatform,
+        store,
+        rng: Optional[np.random.Generator] = None,
+        truth_seed: int = 0,
+    ):
+        self.kernel = kernel
+        self.platform = platform
+        self.store = store
+        self.rng = rng or np.random.default_rng(0)
+        self.truth_seed = truth_seed
+        self.tenants: List[TenantRuntime] = []
+
+    # -- preparation -----------------------------------------------------------
+
+    def prepare(self, specs: List[TenantSpec]) -> None:
+        """Seed inputs and register the tenants' functions (blocking)."""
+        process = self.kernel.process(self._prepare_all(specs), name="faasload-prep")
+        self.kernel.run_until(process)
+
+    def _prepare_all(self, specs: List[TenantSpec]):
+        for index, spec in enumerate(specs):
+            runtime = TenantRuntime(spec=spec)
+            # Streams derived from (injector seed, tenant index), never
+            # from the shared generator: arrival order stays comparable
+            # across systems.
+            runtime.rng = np.random.default_rng(
+                [self.truth_seed, 7919, index]
+            )
+            corpus = MediaCorpus(np.random.default_rng([self.truth_seed, index]))
+            if spec.is_pipeline:
+                runtime.app = get_pipeline_app(spec.workload)
+                runtime.app.register(
+                    self.platform, tenant=spec.tenant_id, truth_seed=self.truth_seed
+                )
+                for size in spec.input_sizes:
+                    refs = yield from runtime.app.prepare_inputs(
+                        self.store, corpus, size
+                    )
+                    runtime.input_refs.append(refs)  # list of ref-lists
+                runtime.booked_mb = max(
+                    fn.booked_mb for fn in runtime.app.stage_functions
+                )
+            else:
+                runtime.model = get_function_model(spec.workload)
+                runtime.descriptors = corpus.batch(
+                    runtime.model.input_kind,
+                    spec.n_inputs,
+                    sizes=spec.input_sizes,
+                )
+                self.store.ensure_bucket("inputs")
+                for i, media in enumerate(runtime.descriptors):
+                    name = f"{spec.tenant_id}-{spec.workload}-in{i}"
+                    yield from self.store.put(
+                        "inputs",
+                        name,
+                        media,
+                        size=media.size,
+                        user_meta=media.features(),
+                    )
+                    runtime.input_refs.append(f"inputs/{name}")
+                advanced = estimate_max_footprint_mb(
+                    runtime.model,
+                    runtime.descriptors,
+                    np.random.default_rng([self.truth_seed, 104729, index]),
+                )
+                runtime.booked_mb = booked_memory_for(spec.profile, advanced)
+                self.platform.register_function(
+                    runtime.model.spec(
+                        tenant=spec.tenant_id,
+                        booked_mb=runtime.booked_mb,
+                        truth_seed=self.truth_seed,
+                    )
+                )
+            self.tenants.append(runtime)
+
+    # -- injection --------------------------------------------------------------
+
+    def _next_interval(self, runtime: TenantRuntime) -> float:
+        spec = runtime.spec
+        if spec.arrival == "periodic":
+            return spec.mean_interval_s
+        if spec.arrival == "bursty":
+            # Within a burst: short gaps; burst ends with probability
+            # 1/burst_size, then a long idle gap follows. The long gap
+            # is scaled so the long-run mean rate matches
+            # ``mean_interval_s``.
+            if runtime.rng.random() < 1.0 / max(spec.burst_size, 1.0):
+                gap = spec.mean_interval_s * spec.burst_size - (
+                    spec.burst_size - 1
+                ) * spec.burst_gap_s
+                return float(runtime.rng.exponential(max(gap, spec.burst_gap_s)))
+            return spec.burst_gap_s
+        return float(runtime.rng.exponential(spec.mean_interval_s))
+
+    def _tenant_loop(self, runtime: TenantRuntime, deadline: float):
+        spec = runtime.spec
+        pending = []
+        while True:
+            wait = self._next_interval(runtime)
+            if self.kernel.now + wait > deadline:
+                break
+            yield self.kernel.timeout(wait)
+            runtime.invocations_fired += 1
+            if runtime.app is not None:
+                refs = runtime.input_refs[
+                    int(runtime.rng.integers(0, len(runtime.input_refs)))
+                ]
+                process = self.kernel.process(
+                    self.platform.invoke_pipeline(
+                        runtime.app.pipeline,
+                        tenant=spec.tenant_id,
+                        input_refs=list(refs),
+                    ),
+                    name=f"{spec.tenant_id}-pipeline",
+                )
+            else:
+                ref = runtime.input_refs[
+                    int(runtime.rng.integers(0, len(runtime.input_refs)))
+                ]
+                args = runtime.model.sample_args(runtime.rng)
+                request = InvocationRequest(
+                    function=spec.workload,
+                    tenant=spec.tenant_id,
+                    args=args,
+                    input_ref=ref,
+                )
+                process = self.platform.submit(request)
+            pending.append(process)
+        # Wait for in-flight work before finishing.
+        if pending:
+            yield self.kernel.all_of(pending)
+        for process in pending:
+            result = process.value
+            if runtime.app is not None:
+                runtime.pipeline_records.append(result)
+            else:
+                runtime.records.append(result)
+
+    def run(self, duration_s: float) -> Dict[str, TenantRuntime]:
+        """Inject load for ``duration_s`` of simulated time (blocking)."""
+        deadline = self.kernel.now + duration_s
+        loops = [
+            self.kernel.process(
+                self._tenant_loop(runtime, deadline),
+                name=f"faasload-{runtime.spec.tenant_id}",
+            )
+            for runtime in self.tenants
+        ]
+        self.kernel.run_until(self.kernel.all_of(loops))
+        return {runtime.spec.tenant_id: runtime for runtime in self.tenants}

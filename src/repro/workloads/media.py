@@ -1,0 +1,243 @@
+"""Synthetic media descriptors and corpus generation.
+
+A *descriptor* stands in for the actual bytes of a media object: it
+carries the metadata a real system could extract cheaply (dimensions,
+duration, codec, …) plus the byte size.  OFC stores these metadata as
+features alongside the object at creation time (§5.1.2), so descriptors
+double as the ML feature source.
+
+Byte size is intentionally a *noisy* function of the content metadata
+(compression ratios vary per format and per content), which reproduces
+the paper's observation that memory usage cannot be predicted from byte
+size alone (Figure 2 top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.latency import KB, MB
+
+IMAGE_FORMATS = ["jpeg", "png", "bmp", "webp"]
+AUDIO_FORMATS = ["mp3", "wav", "flac", "ogg"]
+VIDEO_CODECS = ["h264", "vp9", "mpeg2"]
+
+#: Approximate bytes-per-decoded-byte for each compressed format; the
+#: decoded (in-memory) size drives the function footprints.
+IMAGE_COMPRESSION = {"jpeg": 18.0, "png": 3.0, "bmp": 1.0, "webp": 24.0}
+AUDIO_COMPRESSION = {"mp3": 10.0, "wav": 1.0, "flac": 2.2, "ogg": 11.0}
+VIDEO_COMPRESSION = {"h264": 60.0, "vp9": 80.0, "mpeg2": 25.0}
+
+
+@dataclass
+class ImageDescriptor:
+    width: int
+    height: int
+    channels: int
+    format: str
+    size: int  # bytes on the wire / in the store
+
+    kind = "image"
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def decoded_mb(self) -> float:
+        """In-memory bitmap size once decoded."""
+        return self.pixels * self.channels / MB
+
+    def features(self) -> Dict[str, Any]:
+        return {
+            "in_size": float(self.size),
+            "width": float(self.width),
+            "height": float(self.height),
+            "pixels": float(self.pixels),
+            "channels": float(self.channels),
+            "format": self.format,
+        }
+
+
+@dataclass
+class AudioDescriptor:
+    duration_s: float
+    sample_rate: int
+    channels: int
+    format: str
+    size: int
+
+    kind = "audio"
+
+    @property
+    def decoded_mb(self) -> float:
+        # 16-bit PCM samples.
+        return self.duration_s * self.sample_rate * self.channels * 2 / MB
+
+    def features(self) -> Dict[str, Any]:
+        return {
+            "in_size": float(self.size),
+            "duration": float(self.duration_s),
+            "sample_rate": float(self.sample_rate),
+            "channels": float(self.channels),
+            "samples": float(self.duration_s * self.sample_rate * self.channels),
+            "format": self.format,
+        }
+
+
+@dataclass
+class VideoDescriptor:
+    duration_s: float
+    width: int
+    height: int
+    fps: int
+    codec: str
+    size: int
+
+    kind = "video"
+
+    @property
+    def frame_mb(self) -> float:
+        return self.width * self.height * 3 / MB
+
+    @property
+    def frames(self) -> int:
+        return int(self.duration_s * self.fps)
+
+    def features(self) -> Dict[str, Any]:
+        return {
+            "in_size": float(self.size),
+            "duration": float(self.duration_s),
+            "width": float(self.width),
+            "height": float(self.height),
+            "frame_pixels": float(self.width * self.height),
+            "fps": float(self.fps),
+            "frames": float(self.frames),
+            "codec": self.codec,
+        }
+
+
+@dataclass
+class TextDescriptor:
+    n_words: int
+    n_lines: int
+    size: int
+
+    kind = "text"
+
+    def features(self) -> Dict[str, Any]:
+        return {
+            "in_size": float(self.size),
+            "n_words": float(self.n_words),
+            "n_lines": float(self.n_lines),
+        }
+
+
+class MediaCorpus:
+    """Generates media descriptors with controlled byte sizes.
+
+    All draws come from a dedicated RNG stream so corpora are
+    reproducible and independent of the rest of the simulation.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng or np.random.default_rng(0)
+
+    # -- images ---------------------------------------------------------------
+
+    def image(self, target_size: Optional[int] = None) -> ImageDescriptor:
+        """An image descriptor, optionally targeting a byte size."""
+        rng = self.rng
+        fmt = str(rng.choice(IMAGE_FORMATS))
+        channels = int(rng.choice([1, 3, 3, 4]))
+        if target_size is None:
+            target_size = int(rng.uniform(1 * KB, 3072 * KB))
+        # Invert the compression model (with jitter) to get dimensions.
+        ratio = IMAGE_COMPRESSION[fmt] * float(rng.uniform(0.7, 1.3))
+        decoded = target_size * ratio
+        pixels = max(64, int(decoded / channels))
+        aspect = float(rng.uniform(0.5, 2.0))
+        width = max(8, int(np.sqrt(pixels * aspect)))
+        height = max(8, pixels // width)
+        return ImageDescriptor(
+            width=width,
+            height=height,
+            channels=channels,
+            format=fmt,
+            size=int(target_size),
+        )
+
+    def audio(self, target_size: Optional[int] = None) -> AudioDescriptor:
+        rng = self.rng
+        fmt = str(rng.choice(AUDIO_FORMATS))
+        sample_rate = int(rng.choice([16000, 22050, 44100, 48000]))
+        channels = int(rng.choice([1, 2]))
+        if target_size is None:
+            target_size = int(rng.uniform(50 * KB, 8 * MB))
+        ratio = AUDIO_COMPRESSION[fmt] * float(rng.uniform(0.8, 1.2))
+        decoded = target_size * ratio
+        duration = max(0.5, decoded / (sample_rate * channels * 2))
+        return AudioDescriptor(
+            duration_s=float(duration),
+            sample_rate=sample_rate,
+            channels=channels,
+            format=fmt,
+            size=int(target_size),
+        )
+
+    def video(self, target_size: Optional[int] = None) -> VideoDescriptor:
+        rng = self.rng
+        codec = str(rng.choice(VIDEO_CODECS))
+        fps = int(rng.choice([24, 30, 60]))
+        width, height = [(640, 360), (1280, 720), (1920, 1080)][
+            int(rng.integers(0, 3))
+        ]
+        if target_size is None:
+            target_size = int(rng.uniform(1 * MB, 64 * MB))
+        ratio = VIDEO_COMPRESSION[codec] * float(rng.uniform(0.7, 1.3))
+        decoded = target_size * ratio
+        frame_bytes = width * height * 3
+        frames = max(1, int(decoded / frame_bytes))
+        duration = frames / fps
+        return VideoDescriptor(
+            duration_s=float(duration),
+            width=width,
+            height=height,
+            fps=fps,
+            codec=codec,
+            size=int(target_size),
+        )
+
+    def text(self, target_size: Optional[int] = None) -> TextDescriptor:
+        rng = self.rng
+        if target_size is None:
+            target_size = int(rng.uniform(100 * KB, 30 * MB))
+        avg_word = float(rng.uniform(5.0, 7.0))
+        n_words = max(10, int(target_size / avg_word))
+        n_lines = max(1, int(n_words / rng.uniform(8, 15)))
+        return TextDescriptor(
+            n_words=n_words, n_lines=n_lines, size=int(target_size)
+        )
+
+    def generate(self, kind: str, target_size: Optional[int] = None):
+        factory = {
+            "image": self.image,
+            "audio": self.audio,
+            "video": self.video,
+            "text": self.text,
+        }
+        try:
+            return factory[kind](target_size)
+        except KeyError:
+            raise ValueError(f"unknown media kind: {kind}") from None
+
+    def batch(
+        self, kind: str, n: int, sizes: Optional[List[int]] = None
+    ) -> List[Any]:
+        """``n`` descriptors; with ``sizes``, cycle through the targets."""
+        if sizes is None:
+            return [self.generate(kind) for _ in range(n)]
+        return [self.generate(kind, sizes[i % len(sizes)]) for i in range(n)]

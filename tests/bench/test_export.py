@@ -1,0 +1,98 @@
+"""Tests for the JSONL telemetry exporter."""
+
+import io
+import json
+
+from repro.bench.export import (
+    pipeline_to_dict,
+    read_jsonl,
+    record_to_dict,
+    write_jsonl,
+)
+from repro.faas.pipeline import PipelineRecord, StageRecord
+from repro.faas.records import InvocationRecord, InvocationRequest, Phases
+
+
+def make_record():
+    record = InvocationRecord(
+        request=InvocationRequest(
+            function="f", tenant="t", args={"x": 1}, input_ref="inputs/a"
+        ),
+        node="w0",
+        status="ok",
+        submitted_at=1.0,
+        started_at=1.5,
+        finished_at=3.0,
+        booked_memory_mb=512.0,
+        memory_limit_mb=128.0,
+        peak_memory_mb=100.0,
+    )
+    record.phases = Phases(extract=0.1, transform=1.0, load=0.4)
+    record.output_refs = ["outputs/o"]
+    return record
+
+
+def make_pipeline_record():
+    prec = PipelineRecord(
+        pipeline="p", pipeline_id="p-1", submitted_at=0.0, finished_at=5.0
+    )
+    stage = StageRecord(function="f", started_at=0.0, finished_at=5.0)
+    stage.records = [make_record()]
+    prec.stage_records = [stage]
+    return prec
+
+
+def test_record_to_dict_is_json_safe():
+    payload = record_to_dict(make_record())
+    text = json.dumps(payload)
+    parsed = json.loads(text)
+    assert parsed["function"] == "f"
+    assert parsed["duration_s"] == 2.0
+    assert parsed["execution_s"] == 1.5
+    assert parsed["limit_mb"] == 128.0
+
+
+def test_pipeline_to_dict_summarizes_stages():
+    payload = pipeline_to_dict(make_pipeline_record())
+    assert payload["status"] == "ok"
+    assert payload["stages"] == [
+        {"function": "f", "wall_s": 5.0, "invocations": 1}
+    ]
+
+
+def test_jsonl_roundtrip_mixed_records():
+    sink = io.StringIO()
+    count = write_jsonl([make_record(), make_pipeline_record()], sink)
+    assert count == 2
+    parsed = read_jsonl(io.StringIO(sink.getvalue()))
+    assert len(parsed) == 2
+    assert parsed[0]["function"] == "f"
+    assert parsed[1]["pipeline"] == "p"
+
+
+def test_read_jsonl_skips_blank_lines():
+    parsed = read_jsonl(io.StringIO('{"a": 1}\n\n{"b": 2}\n'))
+    assert parsed == [{"a": 1}, {"b": 2}]
+
+
+def test_export_from_live_platform():
+    from repro.faas import FaaSPlatform, PlatformConfig
+    from repro.sim import Kernel
+    from repro.storage import ObjectStore
+    from tests.faas.conftest import deploy, make_etl_body  # noqa: F401
+    from tests.faas.test_platform import invoke, seed_input
+
+    kernel = Kernel()
+    store = ObjectStore(kernel)
+    store.rng = None
+    store.create_bucket("inputs")
+    store.create_bucket("outputs")
+    platform = FaaSPlatform(kernel, store, PlatformConfig())
+    deploy(platform)
+    seed_input(kernel, store)
+    invoke(kernel, platform, input_ref="inputs/in")
+    sink = io.StringIO()
+    assert write_jsonl(platform.records, sink) == 1
+    row = read_jsonl(io.StringIO(sink.getvalue()))[0]
+    assert row["status"] == "ok"
+    assert row["bytes_in"] > 0

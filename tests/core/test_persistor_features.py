@@ -1,0 +1,188 @@
+"""Unit tests for PersistorService details and feature extraction."""
+
+import pytest
+
+from repro.core.features import extract_features
+from repro.core.persistor import PersistorService
+from repro.faas.records import InvocationRequest
+from repro.faas.registry import FunctionSpec
+from repro.kvcache import CacheCluster
+from repro.sim import Kernel
+from repro.sim.latency import MB
+from repro.storage import ObjectStore, SWIFT_PROFILE
+
+
+@pytest.fixture()
+def env():
+    kernel = Kernel()
+    store = ObjectStore(kernel, profile=SWIFT_PROFILE)
+    store.rng = None
+    store.create_bucket("b")
+    cluster = CacheCluster(kernel, ["w0", "w1"])
+    for node in ("w0", "w1"):
+        cluster.server(node).resize(64 * MB)
+    persistor = PersistorService(kernel, store, cluster)
+    return kernel, store, cluster, persistor
+
+
+def test_persist_fills_shadow_and_clears_dirty(env):
+    kernel, store, cluster, persistor = env
+
+    def setup():
+        meta = yield from store.put("b", "o", None, 100, shadow=True, internal=True)
+        yield from cluster.put("b/o", "data", 100, caller="w0", flags={"dirty": True})
+        return meta
+
+    meta = kernel.run_until(kernel.process(setup()))
+    done = persistor.schedule("b", "o", "data", meta.version, final=False)
+    kernel.run_until(done)
+    assert done.value is True
+    assert not store.peek_meta("b", "o").is_shadow
+    assert cluster.peek("b/o").flags["dirty"] is False
+    assert persistor.stats.completed == 1
+    assert persistor.stats.bytes_persisted == 100
+
+
+def test_persist_deleted_object_counts_superseded(env):
+    kernel, store, cluster, persistor = env
+    done = persistor.schedule("b", "ghost", "data", 1, final=False)
+    kernel.run_until(done)
+    assert done.value is False
+    assert persistor.stats.superseded == 1
+
+
+def test_create_if_missing_performs_full_put(env):
+    kernel, store, cluster, persistor = env
+    done = persistor.schedule(
+        "b", "lazy", "payload", 1, final=False, size=500, create_if_missing=True
+    )
+    kernel.run_until(done)
+    assert done.value is True
+    assert store.contains("b", "lazy")
+    obj_meta = store.peek_meta("b", "lazy")
+    assert obj_meta.size == 500
+
+
+def test_on_persisted_callback_fires_for_finals(env):
+    kernel, store, cluster, persistor = env
+    seen = []
+    persistor.on_persisted = lambda key, final, version: seen.append(
+        (key, final, version)
+    )
+
+    def setup():
+        meta = yield from store.put("b", "o", None, 10, shadow=True, internal=True)
+        return meta
+
+    meta = kernel.run_until(kernel.process(setup()))
+    kernel.run_until(persistor.schedule("b", "o", "x", meta.version, final=True))
+    assert seen == [("b/o", True, meta.version)]
+
+
+def test_boost_waits_for_pending_persist(env):
+    kernel, store, cluster, persistor = env
+
+    def setup():
+        meta = yield from store.put("b", "o", None, 10, shadow=True, internal=True)
+        return meta
+
+    meta = kernel.run_until(kernel.process(setup()))
+    persistor.schedule("b", "o", "x", meta.version, final=False)
+    assert persistor.pending_for("b/o") is not None
+
+    def waiter():
+        yield from persistor.boost("b/o")
+        return store.peek_meta("b", "o").is_shadow
+
+    still_shadow = kernel.run_until(kernel.process(waiter()))
+    assert still_shadow is False
+    assert persistor.stats.boosts == 1
+    assert persistor.pending_for("b/o") is None
+
+
+def test_boost_noop_without_pending(env):
+    kernel, _store, _cluster, persistor = env
+
+    def waiter():
+        yield from persistor.boost("b/none")
+        return "done"
+
+    assert kernel.run_until(kernel.process(waiter())) == "done"
+    assert persistor.stats.boosts == 0
+
+
+# -- feature extraction (§5.1.2) ------------------------------------------------
+
+
+def make_spec(**annotations):
+    def body(ctx):
+        return
+        yield  # pragma: no cover
+
+    return FunctionSpec(
+        name="f", tenant="t", body=body, annotations=annotations
+    )
+
+
+def test_extract_features_merges_object_meta_and_args():
+    kernel = Kernel()
+    store = ObjectStore(kernel, profile=SWIFT_PROFILE)
+    store.create_bucket("inputs")
+
+    def seed():
+        yield from store.put(
+            "inputs", "img", None, 5000,
+            user_meta={"width": 640.0, "format": "jpeg"},
+        )
+
+    kernel.run_process(seed())
+    request = InvocationRequest(
+        function="f",
+        tenant="t",
+        args={"sigma": 2.5, "mode": "fast"},
+        input_ref="inputs/img",
+    )
+    features = extract_features(request, make_spec(), store)
+    assert features["in_size"] == 5000.0
+    assert features["width"] == 640.0
+    assert features["format"] == "jpeg"
+    assert features["arg_sigma"] == 2.5
+    assert features["arg_mode"] == "fast"
+
+
+def test_extract_features_without_store_uses_args_only():
+    request = InvocationRequest(
+        function="f", tenant="t", args={"x": 1.0}, input_ref="inputs/img"
+    )
+    features = extract_features(request, make_spec(), store=None)
+    assert features == {"arg_x": 1.0}
+
+
+def test_extract_features_skips_internal_and_ref_args():
+    request = InvocationRequest(
+        function="f",
+        tenant="t",
+        args={"refs": ["a", "b"], "_stage_index": 2, "obj_id": "x", "k": 3.0},
+    )
+    features = extract_features(
+        request, make_spec(ref_args=["obj_id"]), store=None
+    )
+    assert features == {"arg_k": 3.0}
+
+
+def test_extract_features_skips_opaque_values():
+    request = InvocationRequest(
+        function="f", tenant="t", args={"blob": [1, 2, 3], "n": 7}
+    )
+    features = extract_features(request, make_spec(), store=None)
+    assert features == {"arg_n": 7.0}
+
+
+def test_extract_features_missing_object_is_tolerated():
+    kernel = Kernel()
+    store = ObjectStore(kernel, profile=SWIFT_PROFILE)
+    store.create_bucket("inputs")
+    request = InvocationRequest(
+        function="f", tenant="t", args={}, input_ref="inputs/ghost"
+    )
+    assert extract_features(request, make_spec(), store) == {}

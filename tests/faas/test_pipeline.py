@@ -1,0 +1,175 @@
+"""Tests for pipeline (sequence) execution."""
+
+import pytest
+
+from repro.faas import FunctionSpec, Pipeline, Stage
+from repro.faas.pipeline import fan_out_over_refs
+
+
+def make_stage_body(out_names, compute_s=0.05, footprint_mb=100.0, out_size=500):
+    """A stage body producing ``out_names(ctx)`` output objects."""
+
+    def body(ctx):
+        request = ctx.request
+        if request.input_ref:
+            bucket, name = request.input_ref.split("/", 1)
+            yield from ctx.read(bucket, name)
+        yield from ctx.compute(compute_s, footprint_mb)
+        for out_name in out_names(ctx):
+            yield from ctx.write(request.output_bucket, out_name, "data", out_size)
+
+    return body
+
+
+@pytest.fixture()
+def pipeline_env(env):
+    kernel, store, platform = env
+
+    def seed():
+        yield from store.put("inputs", "doc", {"kind": "text"}, size=30000)
+
+    kernel.run_process(seed())
+
+    platform.register_function(
+        FunctionSpec(
+            name="splitter",
+            tenant="t0",
+            body=make_stage_body(
+                lambda ctx: [f"chunk-{ctx.request.request_id}-{i}" for i in range(3)]
+            ),
+            booked_memory_mb=256,
+        )
+    )
+    platform.register_function(
+        FunctionSpec(
+            name="mapper",
+            tenant="t0",
+            body=make_stage_body(lambda ctx: [f"mapped-{ctx.request.request_id}"]),
+            booked_memory_mb=256,
+        )
+    )
+    platform.register_function(
+        FunctionSpec(
+            name="reducer",
+            tenant="t0",
+            body=make_stage_body(lambda ctx: ["final-result"]),
+            booked_memory_mb=256,
+        )
+    )
+    pipeline = Pipeline(
+        name="wordcount",
+        stages=[
+            Stage("splitter"),
+            Stage("mapper", planner=fan_out_over_refs),
+            Stage("reducer"),
+        ],
+    )
+    return kernel, store, platform, pipeline
+
+
+def run_pipeline(kernel, platform, pipeline, **kwargs):
+    kwargs.setdefault("tenant", "t0")
+    kwargs.setdefault("input_refs", ["inputs/doc"])
+    process = kernel.process(
+        platform.invoke_pipeline(pipeline, **kwargs)
+    )
+    return kernel.run_until(process)
+
+
+def test_pipeline_runs_all_stages(pipeline_env):
+    kernel, store, platform, pipeline = pipeline_env
+    record = run_pipeline(kernel, platform, pipeline)
+    assert record.status == "ok"
+    assert [s.function for s in record.stage_records] == [
+        "splitter",
+        "mapper",
+        "reducer",
+    ]
+    assert store.contains("outputs", "final-result")
+
+
+def test_fan_out_creates_one_invocation_per_ref(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+    record = run_pipeline(kernel, platform, pipeline)
+    assert len(record.stage_records[0].records) == 1
+    assert len(record.stage_records[1].records) == 3  # 3 chunks -> 3 mappers
+    assert len(record.stage_records[2].records) == 1
+
+
+def test_intermediate_outputs_are_flagged(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+    flags = []
+
+    class SpyClient:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def read(self, bucket, name):
+            obj = yield from self.inner.read(bucket, name)
+            return obj
+
+        def write(self, bucket, name, payload, size, **kwargs):
+            flags.append((name, kwargs.get("intermediate")))
+            yield from self.inner.write(bucket, name, payload, size, **kwargs)
+
+        def delete(self, bucket, name):
+            yield from self.inner.delete(bucket, name)
+
+    original = platform.data_client_factory
+    platform.data_client_factory = lambda node, record: SpyClient(
+        original(node, record)
+    )
+    run_pipeline(kernel, platform, pipeline)
+    by_name = dict(flags)
+    assert by_name["final-result"] is False
+    chunk_flags = [v for k, v in by_name.items() if k.startswith("chunk-")]
+    mapped_flags = [v for k, v in by_name.items() if k.startswith("mapped-")]
+    assert all(chunk_flags) and len(chunk_flags) == 3
+    assert all(mapped_flags) and len(mapped_flags) == 3
+
+
+def test_parallel_stage_overlaps_in_time(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+    record = run_pipeline(kernel, platform, pipeline)
+    mapper_stage = record.stage_records[1]
+    starts = sorted(r.started_at for r in mapper_stage.records)
+    ends = sorted(r.finished_at for r in mapper_stage.records)
+    assert starts[-1] < ends[0]  # all three overlap
+
+
+def test_pipeline_phase_split_sums_to_duration(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+    record = run_pipeline(kernel, platform, pipeline)
+    split = record.phase_split()
+    stage_wall = sum(s.wall_time for s in record.stage_records)
+    assert split.total == pytest.approx(stage_wall, rel=0.01)
+    assert split.extract > 0 and split.transform > 0 and split.load > 0
+
+
+def test_pipeline_listener_fires(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+    seen = []
+    platform.pipeline_listeners.append(lambda p: seen.append(p.pipeline_id))
+    record = run_pipeline(kernel, platform, pipeline)
+    assert seen == [record.pipeline_id]
+
+
+def test_pipeline_ids_are_unique(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+    r1 = run_pipeline(kernel, platform, pipeline)
+    r2 = run_pipeline(kernel, platform, pipeline)
+    assert r1.pipeline_id != r2.pipeline_id
+
+
+def test_pipeline_aborts_on_stage_failure(pipeline_env):
+    kernel, _store, platform, pipeline = pipeline_env
+
+    def oom_body(ctx):
+        yield from ctx.compute(0.05, 4096.0)  # always above any limit
+
+    platform.register_function(
+        FunctionSpec(name="mapper", tenant="t0", body=oom_body, booked_memory_mb=256)
+    )
+    record = run_pipeline(kernel, platform, pipeline)
+    assert record.status == "failed"
+    assert len(record.stage_records) == 2  # reducer never ran

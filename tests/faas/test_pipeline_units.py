@@ -1,0 +1,91 @@
+"""Unit tests for pipeline data structures."""
+
+import pytest
+
+from repro.faas.pipeline import (
+    Pipeline,
+    PipelineRecord,
+    Stage,
+    StageRecord,
+    fan_out_over_refs,
+)
+from repro.faas.records import InvocationRecord, InvocationRequest, Phases
+
+
+def make_record(status="ok", extract=1.0, transform=2.0, load=1.0):
+    record = InvocationRecord(
+        request=InvocationRequest(function="f", tenant="t"), status=status
+    )
+    record.phases = Phases(extract=extract, transform=transform, load=load)
+    return record
+
+
+def test_default_planner_single_invocation():
+    pipeline = Pipeline(name="p", stages=[Stage("f")])
+    plans = pipeline.stages[0].planner(["a/b", "c/d"], {"k": 1})
+    assert plans == [({"k": 1}, "a/b")]
+
+
+def test_default_planner_with_no_refs():
+    pipeline = Pipeline(name="p", stages=[Stage("f")])
+    assert pipeline.stages[0].planner([], {}) == [({}, None)]
+
+
+def test_fan_out_planner_one_per_ref():
+    plans = fan_out_over_refs(["a/1", "a/2", "a/3"], {"x": 2})
+    assert len(plans) == 3
+    assert all(args == {"x": 2} for args, _ref in plans)
+    assert [ref for _args, ref in plans] == ["a/1", "a/2", "a/3"]
+
+
+def test_fan_out_planner_copies_args():
+    plans = fan_out_over_refs(["a/1", "a/2"], {"x": []})
+    plans[0][0]["x"].append(1)
+    assert plans[1][0]["x"] == [1] or plans[1][0]["x"] == []  # not aliased
+    base = {"x": 2}
+    plans = fan_out_over_refs(["a/1"], base)
+    plans[0][0]["x"] = 99
+    assert base["x"] == 2
+
+
+def test_pipeline_ids_increase():
+    pipeline = Pipeline(name="p", stages=[Stage("f")])
+    first = pipeline.new_id()
+    second = pipeline.new_id()
+    assert first != second
+    assert first.startswith("p-")
+
+
+def test_stage_record_wall_time_and_split():
+    stage = StageRecord(function="f", started_at=10.0, finished_at=14.0)
+    stage.records = [make_record(), make_record()]
+    split = stage.phase_split()
+    assert stage.wall_time == 4.0
+    assert split.total == pytest.approx(4.0)
+    # Phases split in the 1:2:1 ratio of the records.
+    assert split.extract == pytest.approx(1.0)
+    assert split.transform == pytest.approx(2.0)
+    assert split.load == pytest.approx(1.0)
+
+
+def test_stage_record_split_with_no_ok_records():
+    stage = StageRecord(function="f", started_at=0.0, finished_at=1.0)
+    stage.records = [make_record(status="failed")]
+    split = stage.phase_split()
+    assert split.total == 0.0
+
+
+def test_pipeline_record_status_and_aggregate():
+    prec = PipelineRecord(
+        pipeline="p", pipeline_id="p-1", submitted_at=0.0, finished_at=10.0
+    )
+    good = StageRecord(function="a", started_at=0.0, finished_at=4.0)
+    good.records = [make_record()]
+    bad = StageRecord(function="b", started_at=4.0, finished_at=10.0)
+    bad.records = [make_record(status="failed"), make_record()]
+    prec.stage_records = [good, bad]
+    assert prec.duration == 10.0
+    assert prec.status == "failed"
+    assert len(prec.all_records()) == 3
+    prec.stage_records = [good]
+    assert prec.status == "ok"

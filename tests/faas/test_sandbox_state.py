@@ -1,0 +1,76 @@
+"""Tests for the sandbox state machine."""
+
+import pytest
+
+from repro.faas.sandbox import Sandbox, SandboxState
+
+
+def make(limit=256.0):
+    sandbox = Sandbox("w0", "t/f", limit, created_at=0.0)
+    sandbox.state = SandboxState.IDLE
+    return sandbox
+
+
+def test_lifecycle_happy_path():
+    sandbox = make()
+    sandbox.reserve()
+    assert sandbox.state == SandboxState.BUSY
+    sandbox.begin_invocation(now=1.0)
+    assert sandbox.invocations == 1
+    sandbox.end_invocation(now=2.0)
+    assert sandbox.idle
+    assert sandbox.last_used_at == 2.0
+
+
+def test_double_reserve_rejected():
+    sandbox = make()
+    sandbox.reserve()
+    with pytest.raises(RuntimeError):
+        sandbox.reserve()
+
+
+def test_begin_without_reserve_rejected():
+    sandbox = make()
+    with pytest.raises(RuntimeError):
+        sandbox.begin_invocation(now=0.0)
+
+
+def test_end_without_begin_state_rejected():
+    sandbox = make()
+    with pytest.raises(RuntimeError):
+        sandbox.end_invocation(now=0.0)
+
+
+def test_generation_bumps_on_use():
+    sandbox = make()
+    g0 = sandbox.use_generation
+    sandbox.reserve()
+    sandbox.begin_invocation(now=0.0)
+    sandbox.end_invocation(now=1.0)
+    assert sandbox.use_generation >= g0 + 2
+
+
+def test_kill_makes_dead_and_not_idle():
+    sandbox = make()
+    sandbox.kill()
+    assert not sandbox.alive
+    assert not sandbox.idle
+
+
+def test_set_limit_validates():
+    sandbox = make()
+    sandbox.set_limit(512.0)
+    assert sandbox.memory_limit_mb == 512.0
+    with pytest.raises(ValueError):
+        sandbox.set_limit(0.0)
+
+
+def test_reserve_dead_sandbox_rejected():
+    sandbox = make()
+    sandbox.kill()
+    with pytest.raises(RuntimeError):
+        sandbox.reserve()
+
+
+def test_sandbox_ids_unique():
+    assert make().sandbox_id != make().sandbox_id

@@ -1,0 +1,204 @@
+"""Tests for the four tree classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Dataset,
+    HoeffdingTreeClassifier,
+    J48Classifier,
+    RandomForestClassifier,
+    RandomTreeClassifier,
+    accuracy,
+)
+
+ALL_CLASSIFIERS = [
+    lambda: J48Classifier(),
+    lambda: RandomForestClassifier(n_trees=10, rng=np.random.default_rng(0)),
+    lambda: RandomTreeClassifier(rng=np.random.default_rng(0)),
+    lambda: HoeffdingTreeClassifier(grace_period=25),
+]
+IDS = ["j48", "random_forest", "random_tree", "hoeffding"]
+
+
+def threshold_dataset(n=400, seed=0):
+    """Label = 1 iff x > 0.5 (pure numeric threshold concept)."""
+    rng = np.random.default_rng(seed)
+    xs = rng.random(n)
+    rows = [{"x": float(x)} for x in xs]
+    labels = [int(x > 0.5) for x in xs]
+    return Dataset(rows, labels)
+
+
+def mixed_dataset(n=600, seed=1):
+    """Interaction of a nominal and a numeric feature."""
+    rng = np.random.default_rng(seed)
+    rows, labels = [], []
+    for _ in range(n):
+        kind = rng.choice(["image", "audio", "video"])
+        size = float(rng.uniform(0, 100))
+        if kind == "image":
+            label = int(size > 30)
+        elif kind == "audio":
+            label = int(size > 70)
+        else:
+            label = 2
+        rows.append({"kind": str(kind), "size": size})
+        labels.append(label)
+    return Dataset(rows, labels)
+
+
+@pytest.mark.parametrize("make", ALL_CLASSIFIERS, ids=IDS)
+def test_learns_numeric_threshold(make):
+    train = threshold_dataset(seed=0)
+    test = threshold_dataset(seed=42)
+    clf = make().fit(train)
+    assert accuracy(test.labels, clf.predict(test.rows)) > 0.95
+
+
+@pytest.mark.parametrize("make", ALL_CLASSIFIERS, ids=IDS)
+def test_learns_mixed_concept(make):
+    train = mixed_dataset(seed=1)
+    test = mixed_dataset(seed=99)
+    clf = make().fit(train)
+    assert accuracy(test.labels, clf.predict(test.rows)) > 0.9
+
+
+@pytest.mark.parametrize("make", ALL_CLASSIFIERS, ids=IDS)
+def test_predict_before_fit_raises(make):
+    with pytest.raises(RuntimeError):
+        make().predict_one({"x": 1.0})
+
+
+def test_j48_empty_dataset_raises():
+    with pytest.raises(ValueError):
+        J48Classifier().fit(Dataset([], []))
+
+
+def test_j48_single_class_predicts_it():
+    ds = Dataset([{"x": float(i)} for i in range(10)], [3] * 10)
+    clf = J48Classifier().fit(ds)
+    assert clf.predict_one({"x": 5.0}) == 3
+    assert clf.n_nodes == 1  # pure leaf, no split
+
+
+def test_j48_nominal_split():
+    rows = [{"codec": c} for c in ["h264", "vp9", "h264", "vp9"] * 20]
+    labels = [0 if r["codec"] == "h264" else 1 for r in rows]
+    clf = J48Classifier().fit(Dataset(rows, labels))
+    assert clf.predict_one({"codec": "h264"}) == 0
+    assert clf.predict_one({"codec": "vp9"}) == 1
+
+
+def test_j48_unseen_nominal_value_falls_back_to_majority():
+    rows = [{"codec": c} for c in ["a"] * 30 + ["b"] * 10]
+    labels = [0] * 30 + [1] * 10
+    clf = J48Classifier().fit(Dataset(rows, labels))
+    assert clf.predict_one({"codec": "never-seen"}) == 0
+
+
+def test_j48_missing_numeric_value_falls_back():
+    ds = threshold_dataset()
+    clf = J48Classifier().fit(ds)
+    # Must not raise; returns some node's majority class.
+    assert clf.predict_one({}) in (0, 1)
+
+
+def test_j48_pruning_reduces_nodes_on_noisy_data():
+    rng = np.random.default_rng(7)
+    xs = rng.random(500)
+    labels = [int(rng.random() < 0.5) for _ in xs]  # pure noise
+    ds = Dataset([{"x": float(x)} for x in xs], labels)
+    pruned = J48Classifier(prune=True).fit(ds)
+    unpruned = J48Classifier(prune=False).fit(ds)
+    # Pure noise: pruning must collapse a substantial part of the tree
+    # (C4.5's pessimistic pruning still keeps some structure in-sample).
+    assert pruned.n_nodes < 0.75 * unpruned.n_nodes
+
+
+def test_j48_pruning_keeps_learnable_concept():
+    train = threshold_dataset(seed=2)
+    test = threshold_dataset(seed=77)
+    clf = J48Classifier(prune=True).fit(train)
+    assert accuracy(test.labels, clf.predict(test.rows)) > 0.95
+
+
+def test_j48_sample_weights_bias_prediction():
+    # Two identical feature regions, conflicting labels; weights decide.
+    rows = [{"x": 1.0}] * 10
+    labels = [0] * 5 + [1] * 5
+    heavy_one = Dataset(rows, labels, weights=[1.0] * 5 + [10.0] * 5)
+    clf = J48Classifier().fit(heavy_one)
+    assert clf.predict_one({"x": 1.0}) == 1
+
+
+def test_j48_max_depth_limits_tree():
+    ds = mixed_dataset()
+    clf = J48Classifier(max_depth=1, prune=False).fit(ds)
+    assert clf.depth <= 1
+
+
+def test_j48_deterministic():
+    ds = mixed_dataset()
+    a = J48Classifier().fit(ds)
+    b = J48Classifier().fit(ds)
+    rows = mixed_dataset(seed=5).rows
+    assert list(a.predict(rows)) == list(b.predict(rows))
+
+
+def test_random_forest_more_stable_than_single_tree():
+    rng = np.random.default_rng(3)
+    # Noisy threshold concept.
+    xs = rng.random(300)
+    labels = [
+        int(x > 0.5) if rng.random() > 0.15 else int(x <= 0.5) for x in xs
+    ]
+    train = Dataset([{"x": float(x)} for x in xs], labels)
+    test = threshold_dataset(seed=123)
+    forest = RandomForestClassifier(n_trees=60, rng=np.random.default_rng(0))
+    forest.fit(train)
+    forest_acc = accuracy(test.labels, forest.predict(test.rows))
+    # Averaged over several seeds, bagging beats single overfit trees.
+    tree_accs = [
+        accuracy(
+            test.labels,
+            RandomTreeClassifier(rng=np.random.default_rng(seed))
+            .fit(train)
+            .predict(test.rows),
+        )
+        for seed in range(5)
+    ]
+    assert forest_acc > 0.75
+    assert forest_acc >= np.mean(tree_accs) - 0.02
+
+
+def test_random_forest_invalid_size():
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_trees=0)
+
+
+def test_hoeffding_incremental_learning():
+    clf = HoeffdingTreeClassifier(grace_period=20, n_classes=2)
+    rng = np.random.default_rng(5)
+    for _ in range(800):
+        x = float(rng.random())
+        clf.learn_one({"x": x}, int(x > 0.5))
+    test = threshold_dataset(seed=11)
+    assert accuracy(test.labels, clf.predict(test.rows)) > 0.9
+
+
+def test_hoeffding_handles_nominal_features():
+    clf = HoeffdingTreeClassifier(grace_period=10, n_classes=2)
+    rng = np.random.default_rng(6)
+    for _ in range(500):
+        kind = str(rng.choice(["a", "b"]))
+        clf.learn_one({"kind": kind}, 0 if kind == "a" else 1)
+    assert clf.predict_one({"kind": "a"}) == 0
+    assert clf.predict_one({"kind": "b"}) == 1
+
+
+def test_hoeffding_unseen_value_does_not_crash():
+    clf = HoeffdingTreeClassifier(grace_period=10, n_classes=2)
+    for _ in range(100):
+        clf.learn_one({"kind": "a"}, 0)
+    assert clf.predict_one({"kind": "zzz"}) == 0

@@ -1,0 +1,73 @@
+"""Tests for metrics and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Dataset,
+    J48Classifier,
+    accuracy,
+    confusion_matrix,
+    cross_validate,
+    eo_accuracy,
+    f_measure,
+    precision_recall,
+)
+
+
+def test_accuracy():
+    assert accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+    assert accuracy([], []) == 0.0
+
+
+def test_eo_accuracy_counts_overprediction_as_success():
+    # true 2: predictions 2 (exact) and 3 (over) count, 1 (under) doesn't.
+    assert eo_accuracy([2, 2, 2], [2, 3, 1]) == pytest.approx(2 / 3)
+
+
+def test_confusion_matrix():
+    matrix = confusion_matrix([0, 1, 1, 0], [0, 1, 0, 0], n_classes=2)
+    assert matrix.tolist() == [[2, 0], [1, 1]]
+    assert matrix.sum() == 4
+
+
+def test_precision_recall_perfect():
+    precision, recall = precision_recall([1, 0, 1], [1, 0, 1])
+    assert precision == 1.0 and recall == 1.0
+
+
+def test_precision_recall_asymmetric():
+    # One false positive, one false negative.
+    y_true = [1, 1, 0, 0]
+    y_pred = [1, 0, 1, 0]
+    precision, recall = precision_recall(y_true, y_pred)
+    assert precision == pytest.approx(0.5)
+    assert recall == pytest.approx(0.5)
+
+
+def test_precision_recall_degenerate():
+    precision, recall = precision_recall([0, 0], [0, 0])
+    assert precision == 0.0 and recall == 0.0
+
+
+def test_f_measure_harmonic_mean():
+    y_true = [1, 1, 1, 0]
+    y_pred = [1, 1, 0, 0]
+    precision, recall = precision_recall(y_true, y_pred)
+    expected = 2 * precision * recall / (precision + recall)
+    assert f_measure(y_true, y_pred) == pytest.approx(expected)
+
+
+def test_f_measure_zero_when_no_positives():
+    assert f_measure([1, 1], [0, 0]) == 0.0
+
+
+def test_cross_validate_learnable_concept():
+    rng = np.random.default_rng(0)
+    xs = rng.random(200)
+    ds = Dataset([{"x": float(x)} for x in xs], [int(x > 0.5) for x in xs])
+    result = cross_validate(
+        J48Classifier, ds, k=5, rng=np.random.default_rng(1)
+    )
+    assert result["exact"] > 0.9
+    assert result["exact_or_over"] >= result["exact"]

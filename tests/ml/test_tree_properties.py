@@ -1,0 +1,96 @@
+"""Property-based tests for the tree learners."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import Dataset, HoeffdingTreeClassifier, J48Classifier
+
+feature_value = st.one_of(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.sampled_from(["a", "b", "c"]),
+)
+
+
+@st.composite
+def labelled_rows(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    n_features = draw(st.integers(min_value=1, max_value=4))
+    names = [f"f{i}" for i in range(n_features)]
+    rows = []
+    labels = []
+    for _ in range(n):
+        rows.append({name: draw(feature_value) for name in names})
+        labels.append(draw(st.integers(min_value=0, max_value=4)))
+    return rows, labels
+
+
+@settings(max_examples=40, deadline=None)
+@given(labelled_rows())
+def test_j48_predictions_are_seen_labels(data):
+    rows, labels = data
+    clf = J48Classifier().fit(Dataset(rows, labels))
+    label_set = set(labels)
+    for row in rows:
+        assert clf.predict_one(row) in label_set
+
+
+@settings(max_examples=40, deadline=None)
+@given(labelled_rows())
+def test_j48_never_crashes_on_unseen_rows(data):
+    rows, labels = data
+    clf = J48Classifier().fit(Dataset(rows, labels))
+    weird_rows = [
+        {},
+        {"f0": "zzz"},
+        {"f0": float("inf")},
+        {"unrelated": 1.0},
+    ]
+    for row in weird_rows:
+        assert clf.predict_one(row) in set(labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(labelled_rows())
+def test_j48_is_deterministic(data):
+    rows, labels = data
+    a = J48Classifier().fit(Dataset(rows, labels))
+    b = J48Classifier().fit(Dataset(rows, labels))
+    assert list(a.predict(rows)) == list(b.predict(rows))
+
+
+@settings(max_examples=25, deadline=None)
+@given(labelled_rows())
+def test_unpruned_tree_at_least_as_large_as_pruned(data):
+    rows, labels = data
+    pruned = J48Classifier(prune=True).fit(Dataset(rows, labels))
+    unpruned = J48Classifier(prune=False).fit(Dataset(rows, labels))
+    assert pruned.n_nodes <= unpruned.n_nodes
+
+
+@settings(max_examples=25, deadline=None)
+@given(labelled_rows())
+def test_hoeffding_handles_any_stream(data):
+    rows, labels = data
+    clf = HoeffdingTreeClassifier(grace_period=5, n_classes=5)
+    for row, label in zip(rows, labels):
+        clf.learn_one(row, label)
+    for row in rows:
+        assert 0 <= clf.predict_one(row) <= 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_separable_data_is_learned_perfectly_in_sample(seed):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, 1, size=50)
+    # Perfectly separable: no noise, generous margin around 0.5.
+    xs = xs[(xs < 0.45) | (xs > 0.55)]
+    if len(xs) < 4:
+        return
+    rows = [{"x": float(x)} for x in xs]
+    labels = [int(x > 0.5) for x in xs]
+    if len(set(labels)) < 2:
+        return
+    clf = J48Classifier(prune=False).fit(Dataset(rows, labels))
+    assert list(clf.predict(rows)) == labels

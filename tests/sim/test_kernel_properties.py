@@ -1,0 +1,88 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Kernel
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    kernel = Kernel()
+    fired = []
+
+    def make(delay):
+        def proc():
+            yield kernel.timeout(delay)
+            fired.append(kernel.now)
+
+        return proc
+
+    for delay in delays:
+        kernel.process(make(delay)())
+    kernel.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert kernel.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20
+    )
+)
+def test_sequential_timeouts_accumulate_exactly(delays):
+    kernel = Kernel()
+
+    def proc():
+        for delay in delays:
+            yield kernel.timeout(delay)
+        return kernel.now
+
+    total = kernel.run_process(proc())
+    assert abs(total - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=30),
+    st.floats(min_value=0.01, max_value=5.0),
+)
+def test_resource_conserves_units(capacity, n_workers, hold):
+    """At no instant do granted units exceed capacity; all work finishes."""
+    from repro.sim import Resource
+
+    kernel = Kernel()
+    resource = Resource(kernel, capacity)
+    peaks = []
+    done = []
+
+    def worker():
+        yield resource.acquire()
+        peaks.append(resource.in_use)
+        yield kernel.timeout(hold)
+        resource.release()
+        done.append(True)
+
+    for _ in range(n_workers):
+        kernel.process(worker())
+    kernel.run()
+    assert max(peaks) <= capacity
+    assert len(done) == n_workers
+    assert resource.in_use == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=30))
+def test_all_of_collects_every_value(n):
+    kernel = Kernel()
+    timeouts = [kernel.timeout(float(i), value=i) for i in range(n)]
+
+    def proc():
+        results = yield kernel.all_of(timeouts)
+        return sorted(results.values())
+
+    assert kernel.run_process(proc()) == list(range(n))

@@ -1,0 +1,164 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Kernel, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=2)
+    grants = []
+
+    def worker(name, hold):
+        yield res.acquire()
+        grants.append((name, kernel.now))
+        yield kernel.timeout(hold)
+        res.release()
+
+    kernel.process(worker("a", 5.0))
+    kernel.process(worker("b", 5.0))
+    kernel.process(worker("c", 5.0))
+    kernel.run()
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_order():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=1)
+    order = []
+
+    def worker(name):
+        yield res.acquire()
+        order.append(name)
+        yield kernel.timeout(1.0)
+        res.release()
+
+    for name in "abcd":
+        kernel.process(worker(name))
+    kernel.run()
+    assert order == list("abcd")
+
+
+def test_resource_acquire_more_than_capacity_raises():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=2)
+    with pytest.raises(SimulationError):
+        res.acquire(3)
+
+
+def test_resource_over_release_raises():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_resize_up_unblocks_waiters():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=1)
+    got = []
+
+    def worker(name):
+        yield res.acquire()
+        got.append((name, kernel.now))
+
+    kernel.process(worker("a"))
+    kernel.process(worker("b"))
+
+    def grower():
+        yield kernel.timeout(3.0)
+        res.resize(2)
+
+    kernel.process(grower())
+    kernel.run()
+    assert got == [("a", 0.0), ("b", 3.0)]
+
+
+def test_resource_resize_down_does_not_revoke():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=2)
+
+    def worker():
+        yield res.acquire(2)
+
+    kernel.process(worker())
+    kernel.run()
+    res.resize(1)
+    assert res.in_use == 2
+    assert res.available == -1
+
+
+def test_resource_multi_unit_acquire_waits_for_enough():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=3)
+    events = []
+
+    def small(name):
+        yield res.acquire(1)
+        events.append((name, kernel.now))
+        yield kernel.timeout(2.0)
+        res.release(1)
+
+    def big():
+        yield res.acquire(3)
+        events.append(("big", kernel.now))
+
+    kernel.process(small("s1"))
+    kernel.process(small("s2"))
+    kernel.process(big())
+    kernel.run()
+    assert ("big", 2.0) in events
+
+
+def test_store_put_then_get():
+    kernel = Kernel()
+    store = Store(kernel)
+    store.put("x")
+
+    def getter():
+        item = yield store.get()
+        return item
+
+    assert kernel.run_process(getter()) == "x"
+
+
+def test_store_get_blocks_until_put():
+    kernel = Kernel()
+    store = Store(kernel)
+
+    def getter():
+        item = yield store.get()
+        return (item, kernel.now)
+
+    def putter():
+        yield kernel.timeout(7.0)
+        store.put("late")
+
+    kernel.process(putter())
+    assert kernel.run_process(getter()) == ("late", 7.0)
+
+
+def test_store_is_fifo():
+    kernel = Kernel()
+    store = Store(kernel)
+    for item in [1, 2, 3]:
+        store.put(item)
+    assert store.snapshot() == [1, 2, 3]
+
+    def getter():
+        a = yield store.get()
+        b = yield store.get()
+        c = yield store.get()
+        return [a, b, c]
+
+    assert kernel.run_process(getter()) == [1, 2, 3]
+
+
+def test_store_len():
+    kernel = Kernel()
+    store = Store(kernel)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2

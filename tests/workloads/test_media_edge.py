@@ -1,0 +1,61 @@
+"""Edge tests for media descriptors and corpus batching."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import KB, MB
+from repro.workloads import MediaCorpus
+
+
+@pytest.fixture()
+def corpus():
+    return MediaCorpus(np.random.default_rng(3))
+
+
+def test_batch_cycles_through_sizes(corpus):
+    sizes = [16 * KB, 64 * KB]
+    batch = corpus.batch("image", 5, sizes=sizes)
+    assert [m.size for m in batch] == [
+        16 * KB, 64 * KB, 16 * KB, 64 * KB, 16 * KB,
+    ]
+
+
+def test_batch_without_sizes(corpus):
+    batch = corpus.batch("audio", 3)
+    assert len(batch) == 3
+    assert all(m.kind == "audio" for m in batch)
+
+
+def test_video_features_include_derived_fields(corpus):
+    video = corpus.video(8 * MB)
+    features = video.features()
+    assert features["frame_pixels"] == video.width * video.height
+    assert features["frames"] == pytest.approx(video.frames)
+    assert isinstance(features["codec"], str)
+
+
+def test_audio_features_include_sample_count(corpus):
+    audio = corpus.audio(1 * MB)
+    features = audio.features()
+    expected = audio.duration_s * audio.sample_rate * audio.channels
+    assert features["samples"] == pytest.approx(expected)
+
+
+def test_text_descriptor_word_counts(corpus):
+    text = corpus.text(1 * MB)
+    assert text.n_words > 100
+    assert text.n_lines >= 1
+    assert text.features()["n_words"] == float(text.n_words)
+
+
+def test_tiny_image_has_minimum_dimensions(corpus):
+    image = corpus.image(64)  # 64 bytes
+    assert image.width >= 8
+    assert image.height >= 8
+    assert image.pixels >= 64
+
+
+def test_decoded_sizes_positive_for_all_kinds(corpus):
+    assert corpus.image(64 * KB).decoded_mb > 0
+    assert corpus.audio(64 * KB).decoded_mb > 0
+    assert corpus.video(1 * MB).frame_mb > 0

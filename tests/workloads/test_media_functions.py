@@ -1,0 +1,144 @@
+"""Tests for the media corpus and function models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import KB, MB
+from repro.workloads import MediaCorpus
+from repro.workloads.functions import (
+    ALL_FUNCTIONS,
+    EVALUATION_FUNCTIONS,
+    FIGURE7_FUNCTIONS,
+    get_function_model,
+)
+
+
+@pytest.fixture()
+def corpus():
+    return MediaCorpus(np.random.default_rng(7))
+
+
+def test_corpus_respects_target_size(corpus):
+    image = corpus.image(64 * KB)
+    assert image.size == 64 * KB
+    audio = corpus.audio(1 * MB)
+    assert audio.size == 1 * MB
+
+
+def test_corpus_is_reproducible():
+    a = MediaCorpus(np.random.default_rng(3)).image(100 * KB)
+    b = MediaCorpus(np.random.default_rng(3)).image(100 * KB)
+    assert (a.width, a.height, a.format) == (b.width, b.height, b.format)
+
+
+def test_image_features_contain_dimensions(corpus):
+    image = corpus.image(64 * KB)
+    features = image.features()
+    assert features["width"] == image.width
+    assert features["in_size"] == image.size
+    assert isinstance(features["format"], str)
+
+
+def test_same_byte_size_different_memory(corpus):
+    """Figure 2 (top): byte size alone does not determine memory."""
+    model = get_function_model("wand_blur")
+    footprints = []
+    for _ in range(30):
+        image = corpus.image(2 * MB)
+        footprints.append(model.footprint_mb(image, {"sigma": 2.0}))
+    assert max(footprints) - min(footprints) > 20.0  # wide spread at fixed size
+
+
+def test_sigma_alone_does_not_determine_memory(corpus):
+    """Figure 2 (bottom): the function argument alone is not enough."""
+    model = get_function_model("wand_blur")
+    footprints = [
+        model.footprint_mb(corpus.image(), {"sigma": 3.0}) for _ in range(30)
+    ]
+    assert max(footprints) - min(footprints) > 20.0
+
+
+def test_footprint_is_deterministic_without_rng(corpus):
+    image = corpus.image(256 * KB)
+    model = get_function_model("wand_sepia")
+    assert model.footprint_mb(image, {"threshold": 0.8}) == model.footprint_mb(
+        image, {"threshold": 0.8}
+    )
+
+
+def test_footprint_noise_is_bounded(corpus):
+    image = corpus.image(256 * KB)
+    model = get_function_model("wand_sepia")
+    clean = model.footprint_mb(image, {"threshold": 0.8})
+    rng = np.random.default_rng(0)
+    noisy = [
+        model.footprint_mb(image, {"threshold": 0.8}, rng) for _ in range(100)
+    ]
+    assert np.std(noisy) < 8.0
+    assert abs(np.mean(noisy) - clean) < 4.0
+
+
+def test_wand_sepia_footprint_calibration(corpus):
+    """§7.2.1: inputs of 1 kB..3072 kB give ~84..152 MB footprints."""
+    model = get_function_model("wand_sepia")
+    small = model.footprint_mb(corpus.image(1 * KB), {"threshold": 0.8})
+    bigs = [
+        model.footprint_mb(corpus.image(3072 * KB), {"threshold": 0.8})
+        for _ in range(10)
+    ]
+    assert 70 <= small <= 100
+    assert 100 <= max(bigs) <= 260
+
+
+def test_transform_time_grows_with_input(corpus):
+    for name in FIGURE7_FUNCTIONS:
+        model = get_function_model(name)
+        args = model.sample_args(np.random.default_rng(0))
+        small = model.transform_time(corpus.image(4 * KB), args)
+        large = model.transform_time(corpus.image(2 * MB), args)
+        assert large > small, name
+
+
+def test_nineteen_evaluation_functions():
+    assert len(EVALUATION_FUNCTIONS) == 19
+    for name in EVALUATION_FUNCTIONS:
+        assert name in ALL_FUNCTIONS
+
+
+def test_all_models_produce_valid_outputs(corpus):
+    rng = np.random.default_rng(1)
+    for name, model in ALL_FUNCTIONS.items():
+        media = corpus.generate(model.input_kind)
+        args = model.sample_args(rng)
+        footprint = model.footprint_mb(media, args, rng)
+        duration = model.transform_time(media, args)
+        out_size = model.output_size(media, args)
+        assert footprint > 0, name
+        assert duration > 0, name
+        assert out_size > 0, name
+
+
+def test_sample_args_cover_declared_names():
+    rng = np.random.default_rng(2)
+    for name, model in ALL_FUNCTIONS.items():
+        args = model.sample_args(rng)
+        assert set(args) == set(model.arg_names), name
+
+
+def test_unknown_function_raises():
+    with pytest.raises(KeyError):
+        get_function_model("wand_nonexistent")
+
+
+def test_unknown_media_kind_raises(corpus):
+    with pytest.raises(ValueError):
+        corpus.generate("hologram")
+
+
+def test_nominal_argument_affects_memory(corpus):
+    """img_format_convert: target format (nominal) drives memory."""
+    model = get_function_model("img_format_convert")
+    image = corpus.image(512 * KB)
+    jpeg = model.footprint_mb(image, {"target_format": "jpeg"})
+    bmp = model.footprint_mb(image, {"target_format": "bmp"})
+    assert bmp > jpeg

@@ -1,0 +1,118 @@
+"""Unit tests for individual pipeline stage functions."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import KB, MB
+from repro.workloads.media import MediaCorpus, TextDescriptor
+from repro.workloads.pipelines import (
+    ALL_PIPELINES,
+    ImadClassify,
+    MRMap,
+    MRReduce,
+    MRSplit,
+    ThisAnalyze,
+    ThisDecode,
+    _CHUNK_BYTES,
+    _SEGMENT_BYTES,
+)
+
+
+@pytest.fixture()
+def corpus():
+    return MediaCorpus(np.random.default_rng(9))
+
+
+def test_mr_split_chunk_count_and_sizes(corpus):
+    doc = corpus.text(10 * MB)
+    outs = MRSplit().outputs([doc], {}, request_id=1)
+    assert len(outs) == 10 * MB // _CHUNK_BYTES
+    total = sum(size for _n, _p, size in outs)
+    assert total == doc.size
+    for _name, chunk, size in outs:
+        assert isinstance(chunk, TextDescriptor)
+        assert size <= _CHUNK_BYTES
+
+
+def test_mr_split_small_doc_single_chunk(corpus):
+    doc = corpus.text(100 * KB)
+    outs = MRSplit().outputs([doc], {}, request_id=1)
+    assert len(outs) == 1
+    assert outs[0][2] == doc.size
+
+
+def test_mr_map_output_is_sublinear(corpus):
+    small = corpus.text(256 * KB)
+    large = corpus.text(2 * MB)
+    out_small = MRMap().outputs([small], {}, 1)[0][2]
+    out_large = MRMap().outputs([large], {}, 2)[0][2]
+    assert out_large < large.size / 10  # word counts compress heavily
+    assert out_large >= out_small  # but still grow with input
+
+
+def test_mr_reduce_footprint_scales_with_fan_in(corpus):
+    chunks = [corpus.text(256 * KB) for _ in range(4)]
+    few = MRReduce().footprint_mb(chunks[:1], {})
+    many = MRReduce().footprint_mb(chunks, {})
+    assert many > few
+
+
+def test_this_decode_output_capped_below_cacheable_limit(corpus):
+    segment = corpus.video(_SEGMENT_BYTES)
+    outs = ThisDecode().outputs([segment], {}, 1)
+    assert len(outs) == 1
+    assert outs[0][2] <= 8 * MB  # always cacheable (< 10 MB)
+
+
+def test_this_analyze_footprint_includes_model(corpus):
+    frames = ThisDecode().outputs([corpus.video(_SEGMENT_BYTES)], {}, 1)[0][1]
+    footprint = ThisAnalyze().footprint_mb([frames], {})
+    assert footprint > ThisAnalyze.runtime_base_mb  # detector resident
+
+
+def test_imad_classify_dominated_by_model(corpus):
+    findings = TextDescriptor(n_words=8000, n_lines=600, size=96 * KB)
+    footprint = ImadClassify().footprint_mb([findings], {})
+    assert 200.0 < footprint < 300.0
+
+
+def test_all_stage_functions_produce_positive_quantities(corpus):
+    rng = np.random.default_rng(0)
+    for app in ALL_PIPELINES.values():
+        # Chain a plausible payload through every stage.
+        if app.name == "map_reduce":
+            payloads = [corpus.text(4 * MB)]
+        elif app.name == "THIS":
+            payloads = [corpus.video(_SEGMENT_BYTES)]
+        else:
+            payloads = [corpus.image(1 * MB)]
+        for stage in app.stage_functions:
+            footprint = stage.footprint_mb(payloads, {}, rng)
+            duration = stage.duration_s(payloads, {})
+            outs = stage.outputs(payloads, {}, request_id=7)
+            assert footprint > 0, stage.name
+            assert duration > 0, stage.name
+            assert outs and all(size > 0 for _n, _p, size in outs), stage.name
+            payloads = [outs[0][1]]
+
+
+def test_stage_output_names_unique_per_request(corpus):
+    doc = corpus.text(6 * MB)
+    split = MRSplit()
+    names_a = {n for n, _p, _s in split.outputs([doc], {}, request_id=1)}
+    names_b = {n for n, _p, _s in split.outputs([doc], {}, request_id=2)}
+    assert not names_a & names_b
+
+
+def test_pipeline_registration_installs_all_stages(corpus):
+    from repro.faas import FaaSPlatform, PlatformConfig
+    from repro.sim import Kernel
+    from repro.storage import ObjectStore
+
+    kernel = Kernel()
+    store = ObjectStore(kernel)
+    platform = FaaSPlatform(kernel, store, PlatformConfig())
+    app = ALL_PIPELINES["IMAD"]
+    app.register(platform, tenant="tx")
+    for stage in app.stage_functions:
+        assert f"tx/{stage.name}" in platform.registry
