@@ -3,7 +3,7 @@
 from benchmarks.conftest import save_result
 from repro.bench.fig3 import run_fig3_pipeline, run_fig3_single
 from repro.bench.reporting import format_table
-from repro.sim.latency import KB, MB
+from repro.sim.latency import MB
 
 
 def _rows_to_table(rows, title):

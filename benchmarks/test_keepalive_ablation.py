@@ -12,7 +12,7 @@ from repro.bench.envs import build_ofc_env, pretrain_function
 from repro.bench.reporting import format_table
 from repro.faas.keepalive import FixedKeepAlive, HistogramKeepAlive
 from repro.faas.records import InvocationRequest
-from repro.sim.latency import GB, KB
+from repro.sim.latency import KB
 from repro.workloads.functions import get_function_model
 from repro.workloads.media import MediaCorpus
 

@@ -44,7 +44,9 @@ def test_table1_ml_accuracy(benchmark):
 
     # Shape 1: accuracy degrades as intervals shrink (32 > 16 > 8 MB).
     for algo in ("J48", "RandomForest", "RandomTree", "HoeffdingTree"):
-        assert get(32, algo).exact_pct > get(16, algo).exact_pct > get(8, algo).exact_pct
+        assert (
+            get(32, algo).exact_pct > get(16, algo).exact_pct > get(8, algo).exact_pct
+        )
 
     # Shape 2: J48 and RandomForest are the strongest at 16 MB, and the
     # paper's chosen configuration is accurate enough to use.

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI bench gate: quick benchmark + regression check vs a baseline.
+
+Runs the Figure 7 single-stage quick benchmark (2 functions x 2 input
+sizes x 5 configurations), exports the headline latencies as a metrics
+JSON through the :mod:`repro.obs` layer (uploaded as a CI artifact),
+and fails when any headline latency regresses more than the tolerance
+over the checked-in baseline (``scripts/bench_baseline.json``).
+
+The simulation is fully seeded, so on an unchanged tree the measured
+values match the baseline exactly; the 25% tolerance only absorbs
+intentional small model/latency adjustments.  Regenerate the baseline
+after a deliberate performance change with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench.fig7 import run_fig7_single  # noqa: E402
+from repro.obs import export_json, MetricsRegistry  # noqa: E402
+from repro.sim.latency import KB  # noqa: E402
+from repro.workloads.functions import FIGURE7_FUNCTIONS  # noqa: E402
+
+TOLERANCE = 0.25
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "bench_baseline.json"
+)
+DEFAULT_OUT = "results/bench_metrics.json"
+
+BENCH_FUNCTIONS = 2
+BENCH_SIZES = (16 * KB, 128 * KB)
+
+
+def measure() -> dict:
+    """Headline latencies keyed "workload/size/config" -> total seconds."""
+    rows = run_fig7_single(
+        FIGURE7_FUNCTIONS[:BENCH_FUNCTIONS], sizes=BENCH_SIZES
+    )
+    return {
+        f"{row.workload}/{row.input_size}/{row.config}": row.total_s
+        for row in rows
+    }
+
+
+def export_metrics(headlines: dict, out: str) -> None:
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "bench_total_s", help="Figure 7 single-stage headline latency (s)"
+    )
+    for key, total_s in headlines.items():
+        workload, size, config = key.split("/")
+        gauge.set(total_s, workload=workload, input_size=size, config=config)
+    registry.register_collector("headlines", lambda: dict(headlines))
+    export_json(
+        out,
+        registry=registry,
+        meta={
+            "benchmark": "fig7-single-quick",
+            "tolerance": TOLERANCE,
+            "baseline": os.path.relpath(BASELINE_PATH),
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, help="metrics JSON artifact path"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current numbers as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    headlines = measure()
+    export_metrics(headlines, args.out)
+    print(f"[bench metrics written to {args.out}]")
+
+    if args.write_baseline:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as f:
+            json.dump(headlines, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[baseline written to {BASELINE_PATH}]")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(
+            f"baseline missing: {BASELINE_PATH} (run with --write-baseline)",
+            file=sys.stderr,
+        )
+        return 1
+    with open(BASELINE_PATH, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        measured = headlines.get(key)
+        if measured is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if measured > base * (1.0 + TOLERANCE):
+            pct = 100.0 * (measured - base) / base
+            failures.append(
+                f"{key}: {measured:.6f}s vs baseline {base:.6f}s (+{pct:.1f}%)"
+            )
+    for key in sorted(set(headlines) - set(baseline)):
+        print(f"note: new headline not in baseline: {key}")
+
+    if failures:
+        print(
+            f"bench gate FAILED ({len(failures)} regression(s) "
+            f">{TOLERANCE:.0%}):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench gate OK: {len(baseline)} headlines within "
+        f"{TOLERANCE:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

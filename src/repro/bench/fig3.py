@@ -12,8 +12,8 @@ from typing import List
 
 import numpy as np
 
-from repro.faas.records import InvocationRequest
 from repro.faas.platform import FaaSPlatform, PlatformConfig
+from repro.faas.records import InvocationRequest
 from repro.sim.kernel import Kernel
 from repro.sim.latency import KB, MB
 from repro.sim.rng import RngRegistry

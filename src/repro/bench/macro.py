@@ -51,6 +51,9 @@ class MacroResult:
     table2: Dict[str, float] = field(default_factory=dict)
     cache_series: List[Tuple[float, int]] = field(default_factory=list)
     hit_ratio: float = 0.0
+    #: Full observability snapshot (repro.obs.MetricsRegistry.snapshot()
+    #: of the OFC deployment); None for the baseline systems.
+    obs_snapshot: Optional[Dict] = None
 
 
 def _tenant_specs(
@@ -145,6 +148,7 @@ def run_macro(
         result.table2 = deployment.table2_snapshot()
         result.cache_series = list(deployment.metrics.cache_size_series)
         result.hit_ratio = deployment.rclib_stats.hit_ratio
+        result.obs_snapshot = deployment.obs.snapshot()
     return result
 
 

@@ -14,11 +14,11 @@ import numpy as np
 
 from repro.bench.datasets import all_function_datasets
 from repro.ml import (
+    cross_validate,
     HoeffdingTreeClassifier,
     J48Classifier,
     RandomForestClassifier,
     RandomTreeClassifier,
-    cross_validate,
 )
 
 ALGORITHMS: Dict[str, Callable[[], object]] = {

@@ -5,15 +5,23 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig3 table1 maturation
     python -m repro.cli all
+    python -m repro.cli report --quick
+    python -m repro.cli fig9 --trace results/fig9-trace.json
 
 Each experiment prints the same rows the corresponding paper artifact
 reports. Heavy experiments accept ``--quick`` to shrink sample counts.
+
+``report`` runs the macro workload and dumps the unified observability
+JSON (metrics + span summary) to ``--out``.  ``--trace PATH`` enables
+span tracing for any experiment and writes the trace summary to PATH.
+A failing experiment prints its traceback to stderr and exits 1.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import Callable, Dict
 
 from repro.bench.reporting import format_table
@@ -195,6 +203,12 @@ def _table2(quick: bool) -> str:
     )
 
 
+def _report(quick: bool, out: str) -> str:
+    from repro.bench.report import run_report
+
+    return run_report(quick=quick, out=out)
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -210,6 +224,13 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
+def _export_trace(path: str) -> None:
+    from repro.obs import active_tracers, export_json
+
+    export_json(path, tracers=active_tracers(), meta={"source": "repro.cli"})
+    print(f"[trace written to {path}]")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -218,27 +239,69 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names, 'all', or 'list'",
+        help="experiment names, 'all', 'list', or 'report'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sample counts"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable span tracing and write the trace summary JSON here",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="results/report.json",
+        help="output path for the 'report' experiment's metrics JSON",
     )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
         for name in EXPERIMENTS:
             print(name)
+        print("report")
         return 0
     names = (
         list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     )
-    for name in names:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment: {name}", file=sys.stderr)
-            return 2
-        print(runner(args.quick))
-        print()
+    tracing = args.trace is not None
+    if tracing:
+        from repro.obs import enable_tracing, reset_tracing
+
+        reset_tracing()
+        enable_tracing()
+    try:
+        for name in names:
+            runner = EXPERIMENTS.get(name)
+            if runner is None and name != "report":
+                print(f"unknown experiment: {name}", file=sys.stderr)
+                return 2
+            try:
+                if name == "report":
+                    print(_report(args.quick, args.out))
+                else:
+                    print(runner(args.quick))
+            except Exception:
+                # Surface the failure as an unambiguous exit status so
+                # CI smoke steps can gate on this command.
+                traceback.print_exc()
+                print(f"experiment failed: {name}", file=sys.stderr)
+                return 1
+            print()
+        if tracing:
+            try:
+                _export_trace(args.trace)
+            except OSError:
+                traceback.print_exc()
+                print(f"could not write trace: {args.trace}", file=sys.stderr)
+                return 1
+    finally:
+        if tracing:
+            from repro.obs import reset_tracing
+
+            reset_tracing()
     return 0
 
 

@@ -21,17 +21,17 @@ into the Opportunistic FaaS Cache:
 * :class:`~repro.core.ofc.OFCPlatform` — the assembled system.
 """
 
+from repro.core.cache_agent import CacheAgent
 from repro.core.config import OFCConfig
 from repro.core.features import extract_features
 from repro.core.metrics import OFCMetrics
-from repro.core.ofc import OFCPlatform
-from repro.core.predictor import Predictor
-from repro.core.trainer import ModelTrainer
-from repro.core.cache_agent import CacheAgent
 from repro.core.monitor import Monitor
+from repro.core.ofc import OFCPlatform
 from repro.core.persistor import PersistorService
+from repro.core.predictor import Predictor
 from repro.core.proxy import RcLibClient
 from repro.core.routing import OFCScheduler
+from repro.core.trainer import ModelTrainer
 
 __all__ = [
     "CacheAgent",

@@ -109,17 +109,23 @@ class CacheAgent:
         self._retarget_queued = False
         target = self.target_capacity_bytes()
         current = self.server.capacity
+        span = self.kernel.tracer.start("cache.retarget", node=self.node_id)
         if target > current:
             started = self.kernel.now
             yield from self.cluster.scale_up(self.node_id, target - current)
             self.invoker.cache_reserved_mb = self.server.capacity / MB
             self.metrics.scale_ups += 1
             self.metrics.scale_up_time_s += self.kernel.now - started
+            span.annotate(direction="grow")
         elif target < current:
             yield from self._shrink_to(target)
+            span.annotate(direction="shrink")
+        else:
+            span.annotate(direction="steady")
         self.metrics.record_cache_size(
             self.kernel.now, self.cluster.total_capacity
         )
+        span.finish()
 
     # -- shrinking ------------------------------------------------------------------
 
@@ -156,6 +162,7 @@ class CacheAgent:
 
     def _shrink_locked(self, target_bytes: int) -> Generator:
         started = self.kernel.now
+        span = self.kernel.tracer.start("cache.shrink", node=self.node_id)
         evicted = False
         migrated = False
         goal = target_bytes
@@ -235,6 +242,9 @@ class CacheAgent:
         else:
             self.metrics.scale_downs_plain += 1
         self.metrics.scale_down_time_s += self.kernel.now - started
+        span.finish(
+            mode="migration" if migrated else ("eviction" if evicted else "plain")
+        )
 
     def _drop(self, key: str) -> Generator:
         try:
@@ -265,7 +275,7 @@ class CacheAgent:
                 break
         return invoker.available_mb >= -1e-3
 
-    # -- periodic eviction (§6.3) ----------------------------------------------------------
+    # -- periodic eviction (§6.3) ----------------------------------------
 
     def _eviction_loop(self) -> Generator:
         period = self.config.eviction_period_s
@@ -275,6 +285,7 @@ class CacheAgent:
 
     def run_periodic_eviction(self) -> Generator:
         """Evict cold objects: n_access < 5 or idle > 30 min."""
+        span = self.kernel.tracer.start("cache.evict_sweep", node=self.node_id)
         now = self.kernel.now
         for obj in self._local_masters():
             # Never evict very young objects (they may belong to an
@@ -310,9 +321,10 @@ class CacheAgent:
                 self.metrics.evictions_periodic += 1
             except NoSuchKey:
                 pass
+        span.finish()
         self._queue_retarget()
 
-    # -- slack pool (§6.4) ---------------------------------------------------------------------
+    # -- slack pool (§6.4) ------------------------------------------------
 
     def _slack_loop(self) -> Generator:
         sample_period = self.config.churn_sample_period_s

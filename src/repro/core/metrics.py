@@ -28,8 +28,19 @@ class OFCMetrics:
     def record_cache_size(self, now: float, total_bytes: int) -> None:
         self.cache_size_series.append((now, total_bytes))
 
-    def snapshot(self) -> Dict[str, float]:
+    def cache_size_summary(self) -> Dict[str, float]:
+        """Figure 10's time series, reduced to programmatic headlines."""
+        series = self.cache_size_series
         return {
+            "cache_size_samples": len(series),
+            "cache_size_final_bytes": series[-1][1] if series else 0,
+            "cache_size_peak_bytes": (
+                max(point[1] for point in series) if series else 0
+            ),
+        }
+
+    def snapshot(self) -> Dict[str, float]:
+        snap = {
             "scale_ups": self.scale_ups,
             "scale_up_time_s": round(self.scale_up_time_s, 6),
             "scale_downs_plain": self.scale_downs_plain,
@@ -43,3 +54,5 @@ class OFCMetrics:
             "pipeline_cleanups": self.pipeline_cleanups,
             "intermediate_objects_removed": self.intermediate_objects_removed,
         }
+        snap.update(self.cache_size_summary())
+        return snap

@@ -7,6 +7,7 @@ consistency for external (non-FaaS) clients.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.core.cache_agent import CacheAgent
@@ -23,6 +24,7 @@ from repro.faas.platform import FaaSPlatform, PlatformConfig
 from repro.faas.records import InvocationRecord, InvocationRequest
 from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import NoSuchKey
+from repro.obs.registry import MetricsRegistry
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngRegistry
 from repro.storage.latency_profiles import LatencyProfile, SWIFT_PROFILE
@@ -108,7 +110,43 @@ class OFCPlatform:
         if self.config.strict_consistency:
             self.store.register_read_hook(self._read_webhook)
             self.store.register_write_hook(self._write_webhook)
+        self.obs = self._build_registry()
         self._started = False
+
+    # -- observability -------------------------------------------------------
+
+    def _build_registry(self) -> MetricsRegistry:
+        """One registry absorbing every component's ad-hoc counters.
+
+        The pre-existing stats dataclasses keep their attribute APIs;
+        lazy collectors pull their snapshots only when the registry
+        itself is snapshotted, so the run pays nothing.
+        """
+        registry = MetricsRegistry()
+        registry.register_collector("ofc", self.metrics.snapshot)
+        registry.register_collector("table2", self.table2_snapshot)
+        registry.register_collector("rclib", self._rclib_snapshot)
+        registry.register_collector("kvcache", self.cluster.stats.snapshot)
+        registry.register_collector("rsds", self.store.stats.snapshot)
+        registry.register_collector(
+            "persistor", lambda: asdict(self.persistor.stats)
+        )
+        registry.register_collector("invokers", self._invoker_snapshot)
+        return registry
+
+    def _rclib_snapshot(self) -> Dict[str, float]:
+        snap: Dict[str, float] = asdict(self.rclib_stats)
+        snap["hit_ratio"] = self.rclib_stats.hit_ratio
+        return snap
+
+    def _invoker_snapshot(self) -> Dict[str, float]:
+        """Cluster-wide sums of the per-node invoker counters."""
+        totals: Dict[str, float] = {}
+        for invoker in self.platform.invokers:
+            for key, value in asdict(invoker.stats).items():
+                totals[key] = totals.get(key, 0) + value
+        totals["nodes"] = len(self.platform.invokers)
+        return totals
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -239,7 +277,7 @@ class OFCPlatform:
         )
         return self.kernel.run_until(process)
 
-    # -- reporting (Table 2) ------------------------------------------------------------
+    # -- reporting (Table 2) ----------------------------------------------
 
     def table2_snapshot(self) -> Dict[str, Any]:
         failed = sum(1 for r in self.platform.records if r.status == "failed")

@@ -77,6 +77,7 @@ class PersistorService:
         def persistor():
             # The persistor runs as a FaaS helper function: it pays the
             # platform dispatch overhead before touching the RSDS.
+            span = self.kernel.tracer.start("persistor.flush", final=final)
             yield self.kernel.timeout(PLATFORM_OVERHEAD.sample(self.rng))
             try:
                 ok = yield from self.store.persist_payload(
@@ -107,6 +108,7 @@ class PersistorService:
                     self.on_persisted(key, final, version)
             else:
                 self.stats.superseded += 1
+            span.finish(status="completed" if ok else "superseded")
             if self._pending.get(key) is done:
                 del self._pending[key]
             done.succeed(ok)

@@ -124,6 +124,9 @@ class InvocationContext:
         """
         if duration < 0 or footprint_mb < 0:
             raise ValueError("duration and footprint must be non-negative")
+        span = self.kernel.tracer.start(
+            "faas.compute", function=self.record.request.function
+        )
         start = self.kernel.now
         slices = COMPUTE_SLICES if duration > 0 else 1
         for i in range(1, slices + 1):
@@ -142,12 +145,14 @@ class InvocationContext:
                     self.record.peak_memory_mb = max(
                         self.record.peak_memory_mb, self.sandbox.memory_limit_mb
                     )
+                    span.finish(status="oom")
                     raise OOMKilled(
                         f"{self.sandbox.sandbox_id}: {usage:.0f} MB > "
                         f"{self.sandbox.memory_limit_mb:.0f} MB limit",
                         needed_mb=footprint_mb,
                     )
         self.record.phases.transform += self.kernel.now - start
+        span.finish(status="ok")
 
 
 class Invoker:
@@ -346,36 +351,49 @@ class Invoker:
         Raises :class:`OOMKilled` (sandbox destroyed, caller retries) or
         :class:`ResourceExhausted` (no memory for the sandbox).
         """
-        sandbox = self.find_sandbox(spec.key, preferred_mb=memory_mb)
-        if sandbox is None:
-            sandbox = yield from self.create_sandbox(spec, memory_mb)
-            record.cold_start = True
-            sandbox.reserve()
-        else:
-            sandbox.reserve()  # before any yield: prevents double-booking
-            self.stats.warm_starts += 1
-            yield self.kernel.timeout(WARM_START.sample(self.rng))
-            if abs(sandbox.memory_limit_mb - memory_mb) > _LIMIT_EPS_MB:
-                yield from self.resize_sandbox(sandbox, memory_mb)
-        sandbox.begin_invocation(self.kernel.now)
-        record.node = self.node_id
-        record.sandbox_id = sandbox.sandbox_id
-        record.memory_limit_mb = sandbox.memory_limit_mb
-        record.started_at = self.kernel.now
-        ctx = InvocationContext(self.kernel, record, sandbox, data_client, monitor)
+        span = self.kernel.tracer.start(
+            "faas.execute", node=self.node_id, function=spec.key
+        )
         try:
-            yield from spec.body(ctx)
+            sandbox = self.find_sandbox(spec.key, preferred_mb=memory_mb)
+            if sandbox is None:
+                sandbox = yield from self.create_sandbox(spec, memory_mb)
+                record.cold_start = True
+                sandbox.reserve()
+            else:
+                sandbox.reserve()  # before any yield: prevents double-booking
+                self.stats.warm_starts += 1
+                yield self.kernel.timeout(WARM_START.sample(self.rng))
+                if abs(sandbox.memory_limit_mb - memory_mb) > _LIMIT_EPS_MB:
+                    yield from self.resize_sandbox(sandbox, memory_mb)
+            sandbox.begin_invocation(self.kernel.now)
+            record.node = self.node_id
+            record.sandbox_id = sandbox.sandbox_id
+            record.memory_limit_mb = sandbox.memory_limit_mb
+            record.started_at = self.kernel.now
+            ctx = InvocationContext(
+                self.kernel, record, sandbox, data_client, monitor
+            )
+            try:
+                yield from spec.body(ctx)
+            except OOMKilled:
+                self.stats.oom_kills += 1
+                record.oom_kills += 1
+                self.destroy_sandbox(sandbox)
+                raise
+            except BaseException:
+                self.destroy_sandbox(sandbox)
+                raise
         except OOMKilled:
-            self.stats.oom_kills += 1
-            record.oom_kills += 1
-            self.destroy_sandbox(sandbox)
+            span.finish(status="oom")
             raise
         except BaseException:
-            self.destroy_sandbox(sandbox)
+            span.finish(status="error")
             raise
         record.finished_at = self.kernel.now
         # The final limit may have been raised mid-flight by the Monitor.
         record.memory_limit_mb = sandbox.memory_limit_mb
         sandbox.end_invocation(self.kernel.now)
         self._schedule_reap(sandbox)
+        span.finish(status="ok", cold=record.cold_start)
         return record

@@ -18,7 +18,9 @@ from repro.faas.records import InvocationRecord, Phases
 _next_pipeline = itertools.count(1)
 
 #: A planner returns one (args, input_ref) tuple per branch invocation.
-StagePlanner = Callable[[List[str], Dict[str, Any]], List[Tuple[Dict[str, Any], Optional[str]]]]
+StagePlanner = Callable[
+    [List[str], Dict[str, Any]], List[Tuple[Dict[str, Any], Optional[str]]]
+]
 
 
 def _default_planner(

@@ -135,6 +135,9 @@ class FaaSPlatform:
             submitted_at=self.kernel.now,
             booked_memory_mb=spec.booked_memory_mb,
         )
+        span = self.kernel.tracer.start(
+            "faas.invoke", function=request.function, tenant=request.tenant
+        )
         yield self.kernel.timeout(PLATFORM_OVERHEAD.sample(self.rng))
         if self.sizing_policy is not None:
             decision = yield from self.sizing_policy(request, spec, record)
@@ -177,6 +180,7 @@ class FaaSPlatform:
         if record.status != "ok":
             record.status = "failed"
             record.finished_at = self.kernel.now
+        span.finish(status=record.status, retries=record.retries)
         self.records.append(record)
         for listener in self.completion_listeners:
             listener(record)
@@ -205,6 +209,9 @@ class FaaSPlatform:
             pipeline=pipeline.name,
             pipeline_id=pipeline_id,
             submitted_at=self.kernel.now,
+        )
+        span = self.kernel.tracer.start(
+            "faas.pipeline", pipeline=pipeline.name, tenant=tenant
         )
         prev_refs = list(input_refs or [])
         last = len(pipeline.stages) - 1
@@ -237,6 +244,7 @@ class FaaSPlatform:
                 ref for r in stage_record.records for ref in r.output_refs
             ]
         prec.finished_at = self.kernel.now
+        span.finish(status=prec.status, stages=len(prec.stage_records))
         self.pipeline_records.append(prec)
         for listener in self.pipeline_listeners:
             listener(prec)

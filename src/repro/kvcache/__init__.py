@@ -23,9 +23,9 @@ from repro.kvcache.errors import (
     ObjectTooLarge,
     ServerDown,
 )
+from repro.kvcache.log import ObjectLog, Segment
 from repro.kvcache.objects import CacheObject
 from repro.kvcache.server import CacheServer
-from repro.kvcache.log import ObjectLog, Segment
 
 __all__ = [
     "CacheCluster",

@@ -11,7 +11,6 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.kvcache.coordinator import Coordinator
-from repro.kvcache.server import CacheServer
 from repro.kvcache.errors import (
     CacheError,
     CapacityExceeded,
@@ -28,6 +27,7 @@ from repro.kvcache.objects import (
     REMOTE_READ,
     REMOTE_WRITE,
 )
+from repro.kvcache.server import CacheServer
 from repro.sim.kernel import Kernel
 from repro.sim.latency import CACHE_SCALE_EVICT, CACHE_SCALE_PLAIN, MIGRATION
 
@@ -127,6 +127,11 @@ class CacheCluster:
         )
         if master_id is None:
             raise CapacityExceeded(f"no server can fit {size} bytes")
+        span = self.kernel.tracer.start(
+            "kvcache.put",
+            caller=caller,
+            placement="local" if master_id == caller else "remote",
+        )
         master = self.coordinator.server(master_id)
         version = 1
         if master.master_has(key):
@@ -163,14 +168,23 @@ class CacheCluster:
             yield self.kernel.timeout(longest)
         self.coordinator.record_placement(key, master_id, kept_backups)
         self.stats.puts += 1
+        span.finish(bytes=size)
         return master_id
 
     def get(self, key: str, caller: str) -> Generator[Any, Any, CacheObject]:
         """Read an object's master copy; raises NoSuchKey on miss."""
+        tracer = self.kernel.tracer
         master_id = self.location_of(key)
         if master_id is None:
             self.stats.misses += 1
+            if tracer.enabled:
+                tracer.start("kvcache.get", caller=caller).finish(status="miss")
             raise NoSuchKey(key)
+        span = tracer.start(
+            "kvcache.get",
+            caller=caller,
+            status="local" if master_id == caller else "remote",
+        )
         master = self.coordinator.server(master_id)
         obj = master.master_get(key)
         read_model = LOCAL_READ if master_id == caller else REMOTE_READ
@@ -181,6 +195,7 @@ class CacheCluster:
             self.stats.gets_local += 1
         else:
             self.stats.gets_remote += 1
+        span.finish(bytes=obj.size)
         return CacheObject(
             key=obj.key,
             value=obj.value,
@@ -210,6 +225,7 @@ class CacheCluster:
         master_id = self.coordinator.master_of(key)
         if master_id is None:
             raise NoSuchKey(key)
+        span = self.kernel.tracer.start("kvcache.delete", caller=caller)
         master = self.coordinator.server(master_id)
         if master.master_has(key):
             master.master_delete(key)
@@ -221,6 +237,7 @@ class CacheCluster:
         model = LOCAL_WRITE if master_id == caller else REMOTE_WRITE
         yield self._delay(model)
         self.stats.deletes += 1
+        span.finish()
 
     # -- scaling primitives -----------------------------------------------------------
 
@@ -278,6 +295,9 @@ class CacheCluster:
         ]
         if not candidates:
             return None
+        span = self.kernel.tracer.start(
+            "kvcache.migrate", source=master_id, bytes=obj.size
+        )
         new_master = max(candidates, key=lambda s: s.free_bytes)
         # Promote from the new master's local (buffered) backup copy and
         # drop the old RAM copy.  No payload crosses the network, and
@@ -294,6 +314,7 @@ class CacheCluster:
         yield self._delay(MIGRATION, obj.size)
         self.stats.migrations += 1
         self.stats.migrated_bytes += obj.size
+        span.finish(target=new_master.server_id)
         return new_master.server_id
 
     # -- failures -----------------------------------------------------------------

@@ -28,7 +28,9 @@ class CacheServer:
     it when sandboxes need the memory back (§6.4).
     """
 
-    def __init__(self, server_id: str, capacity: int = 0, disk_capacity: int = 480 * 10**9):
+    def __init__(
+        self, server_id: str, capacity: int = 0, disk_capacity: int = 480 * 10**9
+    ):
         self.server_id = server_id
         self.capacity = capacity
         self.disk_capacity = disk_capacity

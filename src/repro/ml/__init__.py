@@ -11,6 +11,7 @@ k-fold cross-validation) used by Table 1 and §7.1.
 """
 
 from repro.ml.dataset import Dataset
+from repro.ml.forest import RandomForestClassifier, RandomTreeClassifier
 from repro.ml.hoeffding import HoeffdingTreeClassifier
 from repro.ml.intervals import MemoryIntervals
 from repro.ml.metrics import (
@@ -21,7 +22,6 @@ from repro.ml.metrics import (
     f_measure,
     precision_recall,
 )
-from repro.ml.forest import RandomForestClassifier, RandomTreeClassifier
 from repro.ml.tree import J48Classifier
 
 __all__ = [

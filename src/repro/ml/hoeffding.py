@@ -241,7 +241,8 @@ class HoeffdingTreeClassifier:
         while not node.is_leaf:
             if node.threshold is not None:
                 try:
-                    side = "<=" if float(row.get(node.feature, 0.0)) <= node.threshold else ">"
+                    value = float(row.get(node.feature, 0.0))
+                    side = "<=" if value <= node.threshold else ">"
                 except (TypeError, ValueError):
                     side = "<="
                 node = node.children[side]

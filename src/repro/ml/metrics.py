@@ -7,7 +7,7 @@ maturation criterion (§5.3.1) is built on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
 

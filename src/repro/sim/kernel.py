@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.obs.trace import tracer_for_clock
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
@@ -145,6 +147,11 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        self._span = (
+            kernel.tracer.start("sim.process", process=self.name)
+            if kernel.tracer.enabled
+            else None
+        )
         # Bootstrap: resume once at the current instant.
         kick = Event(kernel)
         kick._state = _TRIGGERED
@@ -183,17 +190,23 @@ class Process(Event):
                 target = self.generator.send(event._value)
         except StopIteration as stop:
             self.kernel._active_process = None
+            if self._span is not None:
+                self._span.finish(status="ok")
             self.succeed(stop.value)
             return
         except Interrupt as exc:
             # An unhandled Interrupt terminates the process as a failure.
             self.kernel._active_process = None
+            if self._span is not None:
+                self._span.finish(status="interrupted")
             self._exception = exc
             self._state = _TRIGGERED
             self.kernel._enqueue(0.0, self)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate via event
             self.kernel._active_process = None
+            if self._span is not None:
+                self._span.finish(status="failed")
             self._exception = exc
             self._state = _TRIGGERED
             self.kernel._enqueue(0.0, self)
@@ -280,6 +293,10 @@ class Kernel:
         self._queue: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Observability hook: the shared no-op tracer unless tracing was
+        #: globally enabled (see :mod:`repro.obs.trace`) before this
+        #: kernel was built.  Components reach it as ``kernel.tracer``.
+        self.tracer = tracer_for_clock(lambda: self._now)
 
     @property
     def now(self) -> float:

@@ -20,8 +20,8 @@ from repro.storage.latency_profiles import (
     S3_PROFILE,
     SWIFT_PROFILE,
 )
-from repro.storage.object_store import ObjectStore, StoreStats
 from repro.storage.meta import ObjectMeta, StoredObject
+from repro.storage.object_store import ObjectStore, StoreStats
 
 __all__ = [
     "BucketExists",

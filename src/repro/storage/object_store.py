@@ -113,6 +113,7 @@ class ObjectStore:
         self, bucket: str, name: str, internal: bool = False
     ) -> Generator[Any, Any, StoredObject]:
         """GET an object; returns a :class:`StoredObject` copy."""
+        span = self.kernel.tracer.start("rsds.get", internal=internal)
         yield self._slots.acquire()
         try:
             obj = self._object(bucket, name)  # fail before paying latency
@@ -127,6 +128,7 @@ class ObjectStore:
             return StoredObject(meta=obj.meta.copy(), payload=obj.payload)
         finally:
             self._slots.release()
+            span.finish()
 
     def put(
         self,
@@ -146,6 +148,9 @@ class ObjectStore:
         and the previous payload (if any) is dropped.  The transfer cost
         is that of an empty body.
         """
+        span = self.kernel.tracer.start(
+            "rsds.put", internal=internal, shadow=shadow
+        )
         yield self._slots.acquire()
         try:
             bkt = self._bucket(bucket)
@@ -185,6 +190,7 @@ class ObjectStore:
             return meta.copy()
         finally:
             self._slots.release()
+            span.finish()
 
     def persist_payload(
         self, bucket: str, name: str, payload: Any, version: int
@@ -195,6 +201,7 @@ class ObjectStore:
         the object's current version, which is how successive updates are
         kept in order (§6.2).
         """
+        span = self.kernel.tracer.start("rsds.persist")
         yield self._slots.acquire()
         try:
             obj = self._object(bucket, name)
@@ -208,10 +215,12 @@ class ObjectStore:
             return True
         finally:
             self._slots.release()
+            span.finish()
 
     def delete(
         self, bucket: str, name: str, internal: bool = False
     ) -> Generator[Any, Any, None]:
+        span = self.kernel.tracer.start("rsds.delete", internal=internal)
         yield self._slots.acquire()
         try:
             obj = self._object(bucket, name)
@@ -224,6 +233,7 @@ class ObjectStore:
             self.stats.deletes += 1
         finally:
             self._slots.release()
+            span.finish()
 
     def stat(
         self, bucket: str, name: str

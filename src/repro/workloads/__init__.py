@@ -11,6 +11,13 @@ after the paper's own Figure 2 (no precise correlation with byte size
 or any single argument alone).
 """
 
+from repro.workloads.faasload import FaaSLoad, TenantProfile, TenantSpec
+from repro.workloads.functions import (
+    ALL_FUNCTIONS,
+    FIGURE7_FUNCTIONS,
+    FunctionModel,
+    get_function_model,
+)
 from repro.workloads.media import (
     AudioDescriptor,
     ImageDescriptor,
@@ -18,18 +25,11 @@ from repro.workloads.media import (
     TextDescriptor,
     VideoDescriptor,
 )
-from repro.workloads.functions import (
-    ALL_FUNCTIONS,
-    FIGURE7_FUNCTIONS,
-    FunctionModel,
-    get_function_model,
-)
 from repro.workloads.pipelines import (
     ALL_PIPELINES,
-    PipelineApp,
     get_pipeline_app,
+    PipelineApp,
 )
-from repro.workloads.faasload import FaaSLoad, TenantProfile, TenantSpec
 
 __all__ = [
     "ALL_FUNCTIONS",

@@ -27,7 +27,7 @@ from repro.sim.kernel import Kernel
 from repro.sim.latency import KB, MB
 from repro.workloads.functions import FunctionModel, get_function_model
 from repro.workloads.media import MediaCorpus
-from repro.workloads.pipelines import PipelineApp, get_pipeline_app
+from repro.workloads.pipelines import get_pipeline_app, PipelineApp
 
 
 class TenantProfile(Enum):

@@ -28,7 +28,6 @@ from repro.faas.registry import FunctionSpec
 from repro.sim.latency import KB, MB
 from repro.workloads import media as media_mod
 from repro.workloads.media import (
-    AUDIO_FORMATS,
     AudioDescriptor,
     ImageDescriptor,
     TextDescriptor,

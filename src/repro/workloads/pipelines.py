@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.faas.pipeline import Pipeline, Stage, fan_out_over_refs
+from repro.faas.pipeline import fan_out_over_refs, Pipeline, Stage
 from repro.faas.registry import FunctionSpec
 from repro.sim.latency import KB, MB
 from repro.workloads.functions import _noisy, _truth_rng

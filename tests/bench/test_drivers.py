@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.bench.datasets import all_function_datasets, benefit_dataset, function_dataset
+from repro.bench.datasets import (
+    all_function_datasets,
+    benefit_dataset,
+    function_dataset,
+)
 from repro.bench.envs import (
     build_ofc_env,
     build_owk_redis_env,

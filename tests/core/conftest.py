@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OFCConfig, OFCPlatform
+from repro.core import OFCPlatform
 from repro.faas.platform import PlatformConfig
 from repro.faas.records import InvocationRequest
 from repro.sim.latency import KB, MB

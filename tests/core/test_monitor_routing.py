@@ -6,7 +6,7 @@ import pytest
 from repro.core import OFCConfig, OFCPlatform
 from repro.core.monitor import Monitor
 from repro.core.routing import OFCScheduler
-from repro.faas.platform import PlatformConfig, SizingDecision
+from repro.faas.platform import SizingDecision
 from repro.faas.records import InvocationRequest
 from repro.faas.registry import FunctionSpec
 from repro.sim.latency import KB

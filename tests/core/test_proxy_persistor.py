@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.latency import KB, MB
+from repro.sim.latency import MB
 from tests.core.conftest import deploy, invoke, seed_images
 
 

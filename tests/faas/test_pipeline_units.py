@@ -3,11 +3,11 @@
 import pytest
 
 from repro.faas.pipeline import (
+    fan_out_over_refs,
     Pipeline,
     PipelineRecord,
     Stage,
     StageRecord,
-    fan_out_over_refs,
 )
 from repro.faas.records import InvocationRecord, InvocationRequest, Phases
 

@@ -5,7 +5,7 @@ import pytest
 from repro.faas.invoker import Invoker
 from repro.faas.records import InvocationRecord, InvocationRequest, Phases
 from repro.faas.registry import FunctionSpec
-from repro.faas.scheduler import HomeWorkerScheduler, home_index
+from repro.faas.scheduler import home_index, HomeWorkerScheduler
 from repro.sim import Kernel
 
 

@@ -143,7 +143,13 @@ def test_log_invariants_under_random_ops(ops):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(st.integers(min_value=1, max_value=SEGMENT_SIZE // 4), min_size=1, max_size=60))
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=SEGMENT_SIZE // 4),
+        min_size=1,
+        max_size=60,
+    )
+)
 def test_clean_after_mass_delete_reclaims_everything(sizes):
     log = ObjectLog()
     for i, size in enumerate(sizes):

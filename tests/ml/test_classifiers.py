@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.ml import (
+    accuracy,
     Dataset,
     HoeffdingTreeClassifier,
     J48Classifier,
     RandomForestClassifier,
     RandomTreeClassifier,
-    accuracy,
 )
 
 ALL_CLASSIFIERS = [

@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 
 from repro.ml import (
-    Dataset,
-    J48Classifier,
     accuracy,
     confusion_matrix,
     cross_validate,
+    Dataset,
     eo_accuracy,
     f_measure,
+    J48Classifier,
     precision_recall,
 )
 

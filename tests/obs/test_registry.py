@@ -1,0 +1,108 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_aggregates_per_label_set():
+    counter = Counter("requests")
+    counter.inc(node="n0", status="ok")
+    counter.inc(2.0, node="n0", status="ok")
+    counter.inc(node="n1", status="err")
+    assert counter.value(node="n0", status="ok") == 3.0
+    assert counter.value(node="n1", status="err") == 1.0
+    assert counter.value(node="n2") == 0.0
+    assert counter.total() == 4.0
+
+
+def test_counter_label_order_is_irrelevant():
+    counter = Counter("requests")
+    counter.inc(a=1, b=2)
+    counter.inc(b=2, a=1)
+    assert counter.value(a=1, b=2) == 2.0
+    assert len(counter.series()) == 1
+
+
+def test_counter_rejects_negative():
+    counter = Counter("requests")
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("bytes")
+    gauge.set(100.0, node="n0")
+    gauge.add(50.0, node="n0")
+    gauge.set(7.0, node="n1")
+    assert gauge.value(node="n0") == 150.0
+    assert gauge.value(node="n1") == 7.0
+
+
+def test_histogram_stats_and_buckets():
+    hist = Histogram("latency", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 20.0):
+        hist.observe(value, op="get")
+    stats = hist.stats(op="get")
+    assert stats["count"] == 3
+    assert stats["sum"] == 22.5
+    assert stats["min"] == 0.5
+    assert stats["max"] == 20.0
+    assert stats["mean"] == 7.5
+    assert stats["bucket_counts"] == [1, 1, 1]  # <=1, <=10, overflow
+    assert hist.stats(op="missing") is None
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", help="cache hits")
+    b = registry.counter("hits")
+    assert a is b
+    assert registry.get("hits") is a
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("hits")
+    with pytest.raises(TypeError):
+        registry.gauge("hits")
+
+
+def test_registry_rejects_duplicate_collector():
+    registry = MetricsRegistry()
+    registry.register_collector("stats", lambda: {})
+    with pytest.raises(ValueError):
+        registry.register_collector("stats", lambda: {})
+
+
+def test_snapshot_includes_instruments_and_collectors():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(5, node="n0")
+    registry.gauge("cache_bytes").set(1024.0)
+    registry.histogram("latency", buckets=(1.0,)).observe(0.5)
+    registry.register_collector("table2", lambda: {"hit_ratio": 0.9})
+
+    snap = registry.snapshot()
+    assert snap["metrics"]["hits"]["kind"] == "counter"
+    assert snap["metrics"]["hits"]["series"] == [
+        {"labels": {"node": "n0"}, "value": 5.0}
+    ]
+    assert snap["metrics"]["cache_bytes"]["kind"] == "gauge"
+    assert snap["metrics"]["latency"]["buckets"] == [1.0]
+    assert snap["collected"] == {"table2": {"hit_ratio": 0.9}}
+
+
+def test_collectors_run_lazily_at_snapshot_time():
+    registry = MetricsRegistry()
+    state = {"calls": 0, "value": 1}
+
+    def collect():
+        state["calls"] += 1
+        return {"value": state["value"]}
+
+    registry.register_collector("live", collect)
+    assert state["calls"] == 0
+    state["value"] = 42
+    snap = registry.snapshot()
+    assert state["calls"] == 1
+    assert snap["collected"]["live"]["value"] == 42

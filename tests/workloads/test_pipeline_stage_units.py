@@ -6,6 +6,8 @@ import pytest
 from repro.sim.latency import KB, MB
 from repro.workloads.media import MediaCorpus, TextDescriptor
 from repro.workloads.pipelines import (
+    _CHUNK_BYTES,
+    _SEGMENT_BYTES,
     ALL_PIPELINES,
     ImadClassify,
     MRMap,
@@ -13,8 +15,6 @@ from repro.workloads.pipelines import (
     MRSplit,
     ThisAnalyze,
     ThisDecode,
-    _CHUNK_BYTES,
-    _SEGMENT_BYTES,
 )
 
 
