@@ -14,7 +14,12 @@ tree wraps these drivers in pytest-benchmark targets, and the
 | §7.1.3         | :mod:`repro.bench.maturation`        |
 | Figure 7       | :mod:`repro.bench.fig7`              |
 | Figure 8       | :mod:`repro.bench.fig8`              |
-| Figure 9/10, Table 2 | :mod:`repro.bench.macro`       |
+| Figure 9, Table 2 | :mod:`repro.bench.macro`          |
+| Figure 10      | :mod:`repro.bench.fig10`             |
+
+Sweeps fan their independent cells across processes via
+:mod:`repro.bench.runner`; :mod:`repro.bench.perfbench` tracks the
+simulator's own wall-clock performance (``repro perf``).
 """
 
 from repro.bench.envs import (
@@ -23,10 +28,15 @@ from repro.bench.envs import (
     build_owk_redis_env,
     build_owk_swift_env,
 )
+from repro.bench.runner import cell_seed, CellOutcome, run_cells, run_grid
 
 __all__ = [
     "BaselineEnv",
+    "CellOutcome",
     "build_ofc_env",
     "build_owk_redis_env",
     "build_owk_swift_env",
+    "cell_seed",
+    "run_cells",
+    "run_grid",
 ]

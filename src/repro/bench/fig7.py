@@ -21,6 +21,7 @@ from repro.bench.envs import (
     build_owk_redis_env,
     build_owk_swift_env,
 )
+from repro.bench.runner import run_grid
 from repro.faas.records import InvocationRequest
 from repro.sim.latency import KB, MB
 from repro.workloads.functions import get_function_model
@@ -94,48 +95,62 @@ def _row(workload, size, config, phases) -> Fig7Row:
     )
 
 
+def _single_cell(cell) -> List[Fig7Row]:
+    """One (function, size) sweep cell: all five configurations.
+
+    Module-level and payload-picklable so the parallel runner can ship
+    it to worker processes.
+    """
+    fn_name, size, seed = cell
+    model = get_function_model(fn_name)
+    args = _fixed_args(fn_name, seed)
+    rows: List[Fig7Row] = []
+    # Baselines: one cold run each (phases exclude scheduling).
+    for builder, label in [
+        (build_owk_swift_env, "OWK-Swift"),
+        (build_owk_redis_env, "OWK-Redis"),
+    ]:
+        env = builder(seed=seed)
+        env.platform.register_function(model.spec(tenant="t0", booked_mb=2048))
+        ref = _seed_image(env.kernel, env.store, size, seed, "in")
+        record = _invoke(env.kernel, env.platform, fn_name, ref, args)
+        rows.append(_row(fn_name, size, label, record.phases))
+    # OFC: Miss, then LocalHit, then RemoteHit on one deployment.
+    ofc = build_ofc_env(seed=seed)
+    ofc.platform.register_function(model.spec(tenant="t0", booked_mb=2048))
+    ref = _seed_image(ofc.kernel, ofc.store, size, seed, "in")
+    miss = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
+    rows.append(_row(fn_name, size, "OFC-M", miss.phases))
+    local = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
+    assert ofc.rclib_stats.hits_local >= 1
+    rows.append(_row(fn_name, size, "OFC-LH", local.phases))
+    # Move the master copy away from the warm sandbox's node.
+    new_master = ofc.kernel.run_until(
+        ofc.kernel.process(ofc.cluster.migrate_master(ref))
+    )
+    assert new_master is not None and new_master != local.node
+    remote = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
+    assert ofc.rclib_stats.hits_remote >= 1
+    rows.append(_row(fn_name, size, "OFC-RH", remote.phases))
+    return rows
+
+
 def run_fig7_single(
     functions: Sequence[str],
     sizes: Sequence[int] = SINGLE_STAGE_SIZES,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[Fig7Row]:
-    """Single-stage functions under all five configurations."""
+    """Single-stage functions under all five configurations.
+
+    Cells (one per function × size) are independent simulations; they
+    fan out across ``workers`` processes and the row order matches the
+    historical serial loop exactly.
+    """
+    cells = [(fn_name, size, seed) for fn_name in functions for size in sizes]
     rows: List[Fig7Row] = []
-    for fn_name in functions:
-        model = get_function_model(fn_name)
-        args = _fixed_args(fn_name, seed)
-        for size in sizes:
-            # Baselines: one cold run each (phases exclude scheduling).
-            for builder, label in [
-                (build_owk_swift_env, "OWK-Swift"),
-                (build_owk_redis_env, "OWK-Redis"),
-            ]:
-                env = builder(seed=seed)
-                env.platform.register_function(
-                    model.spec(tenant="t0", booked_mb=2048)
-                )
-                ref = _seed_image(env.kernel, env.store, size, seed, "in")
-                record = _invoke(env.kernel, env.platform, fn_name, ref, args)
-                rows.append(_row(fn_name, size, label, record.phases))
-            # OFC: Miss, then LocalHit, then RemoteHit on one deployment.
-            ofc = build_ofc_env(seed=seed)
-            ofc.platform.register_function(
-                model.spec(tenant="t0", booked_mb=2048)
-            )
-            ref = _seed_image(ofc.kernel, ofc.store, size, seed, "in")
-            miss = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
-            rows.append(_row(fn_name, size, "OFC-M", miss.phases))
-            local = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
-            assert ofc.rclib_stats.hits_local >= 1
-            rows.append(_row(fn_name, size, "OFC-LH", local.phases))
-            # Move the master copy away from the warm sandbox's node.
-            new_master = ofc.kernel.run_until(
-                ofc.kernel.process(ofc.cluster.migrate_master(ref))
-            )
-            assert new_master is not None and new_master != local.node
-            remote = _invoke(ofc.kernel, ofc.platform, fn_name, ref, args)
-            assert ofc.rclib_stats.hits_remote >= 1
-            rows.append(_row(fn_name, size, "OFC-RH", remote.phases))
+    for cell_rows in run_grid(_single_cell, cells, workers=workers):
+        rows.extend(cell_rows)
     return rows
 
 
@@ -144,58 +159,66 @@ def run_fig7_single(
 PIPELINE_NODE_MB = 65536.0
 
 
+def _pipeline_cell(cell) -> List[Fig7Row]:
+    """One (app, size) pipeline cell: all five configurations."""
+    app_name, size, seed = cell
+    rows: List[Fig7Row] = []
+    for builder, label in [
+        (build_owk_swift_env, "OWK-Swift"),
+        (build_owk_redis_env, "OWK-Redis"),
+    ]:
+        env = builder(seed=seed, node_mb=PIPELINE_NODE_MB)
+        app = get_pipeline_app(app_name)
+        app.register(env.platform, tenant="t0")
+        corpus = MediaCorpus(np.random.default_rng(seed))
+        refs = env.kernel.run_until(
+            env.kernel.process(app.prepare_inputs(env.store, corpus, size))
+        )
+        prec = env.kernel.run_until(
+            env.kernel.process(
+                env.platform.invoke_pipeline(
+                    app.pipeline, tenant="t0", input_refs=refs
+                )
+            )
+        )
+        assert prec.status == "ok"
+        rows.append(_row(app_name, size, label, prec.phase_split()))
+    # OFC: first run = Miss; second run = LocalHit (inputs cached on
+    # the nodes that consumed them); RemoteHit = migrate masters away.
+    ofc = build_ofc_env(seed=seed, node_mb=PIPELINE_NODE_MB)
+    app = get_pipeline_app(app_name)
+    app.register(ofc.platform, tenant="t0")
+    corpus = MediaCorpus(np.random.default_rng(seed))
+    refs = ofc.kernel.run_until(
+        ofc.kernel.process(app.prepare_inputs(ofc.store, corpus, size))
+    )
+    miss = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
+    assert miss.status == "ok"
+    rows.append(_row(app_name, size, "OFC-M", miss.phase_split()))
+    local = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
+    assert local.status == "ok"
+    rows.append(_row(app_name, size, "OFC-LH", local.phase_split()))
+    for ref in refs:
+        if ofc.cluster.contains(ref):
+            ofc.kernel.run_until(
+                ofc.kernel.process(ofc.cluster.migrate_master(ref))
+            )
+    remote = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
+    assert remote.status == "ok"
+    rows.append(_row(app_name, size, "OFC-RH", remote.phase_split()))
+    return rows
+
+
 def run_fig7_pipeline(
     app_name: str,
     sizes: Optional[Sequence[int]] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[Fig7Row]:
     """One pipeline app under all five configurations."""
     sizes = sizes or PIPELINE_SIZES[app_name]
+    cells = [(app_name, size, seed) for size in sizes]
     rows: List[Fig7Row] = []
-    for size in sizes:
-        for builder, label in [
-            (build_owk_swift_env, "OWK-Swift"),
-            (build_owk_redis_env, "OWK-Redis"),
-        ]:
-            env = builder(seed=seed, node_mb=PIPELINE_NODE_MB)
-            app = get_pipeline_app(app_name)
-            app.register(env.platform, tenant="t0")
-            corpus = MediaCorpus(np.random.default_rng(seed))
-            refs = env.kernel.run_until(
-                env.kernel.process(
-                    app.prepare_inputs(env.store, corpus, size)
-                )
-            )
-            prec = env.kernel.run_until(
-                env.kernel.process(
-                    env.platform.invoke_pipeline(
-                        app.pipeline, tenant="t0", input_refs=refs
-                    )
-                )
-            )
-            assert prec.status == "ok"
-            rows.append(_row(app_name, size, label, prec.phase_split()))
-        # OFC: first run = Miss; second run = LocalHit (inputs cached on
-        # the nodes that consumed them); RemoteHit = migrate masters away.
-        ofc = build_ofc_env(seed=seed, node_mb=PIPELINE_NODE_MB)
-        app = get_pipeline_app(app_name)
-        app.register(ofc.platform, tenant="t0")
-        corpus = MediaCorpus(np.random.default_rng(seed))
-        refs = ofc.kernel.run_until(
-            ofc.kernel.process(app.prepare_inputs(ofc.store, corpus, size))
-        )
-        miss = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
-        assert miss.status == "ok"
-        rows.append(_row(app_name, size, "OFC-M", miss.phase_split()))
-        local = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
-        assert local.status == "ok"
-        rows.append(_row(app_name, size, "OFC-LH", local.phase_split()))
-        for ref in refs:
-            if ofc.cluster.contains(ref):
-                ofc.kernel.run_until(
-                    ofc.kernel.process(ofc.cluster.migrate_master(ref))
-                )
-        remote = ofc.invoke_pipeline(app.pipeline, tenant="t0", input_refs=refs)
-        assert remote.status == "ok"
-        rows.append(_row(app_name, size, "OFC-RH", remote.phase_split()))
+    for cell_rows in run_grid(_pipeline_cell, cells, workers=workers):
+        rows.extend(cell_rows)
     return rows

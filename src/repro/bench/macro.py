@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.bench.envs import build_ofc_env, build_owk_swift_env, pretrain_function
+from repro.bench.runner import run_grid
 from repro.sim.latency import KB, MB
 from repro.workloads.faasload import FaaSLoad, TenantProfile, TenantSpec
 from repro.workloads.functions import get_function_model
@@ -152,38 +153,42 @@ def run_macro(
     return result
 
 
+def _macro_cell(cell) -> MacroResult:
+    """One macro run as a runner cell; module-level for pickling."""
+    system, profile, duration_s, tenants_per_workload, node_mb, seed = cell
+    return run_macro(
+        system,
+        profile,
+        duration_s=duration_s,
+        tenants_per_workload=tenants_per_workload,
+        node_mb=node_mb,
+        seed=seed,
+    )
+
+
 def run_macro_comparison(
     profile: TenantProfile,
     duration_s: float = 1800.0,
     tenants_per_workload: int = 1,
     seed: int = 0,
     node_mb: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[MacroResult, MacroResult, Dict[str, float]]:
     """OFC vs OWK-Swift for one profile.
 
     Returns (ofc result, swift result, per-workload improvement %).
     Node memory scales with tenant count by default (the paper's
     testbed had 512 GB workers; memory exhaustion from sheer sandbox
-    count is not the phenomenon under study).
+    count is not the phenomenon under study).  The two runs are
+    independent simulations and fan out across ``workers`` processes.
     """
     if node_mb is None:
         node_mb = 16384.0 * max(1, tenants_per_workload)
-    ofc = run_macro(
-        "ofc",
-        profile,
-        duration_s=duration_s,
-        tenants_per_workload=tenants_per_workload,
-        node_mb=node_mb,
-        seed=seed,
-    )
-    swift = run_macro(
-        "swift",
-        profile,
-        duration_s=duration_s,
-        tenants_per_workload=tenants_per_workload,
-        node_mb=node_mb,
-        seed=seed,
-    )
+    cells = [
+        (system, profile, duration_s, tenants_per_workload, node_mb, seed)
+        for system in ("ofc", "swift")
+    ]
+    ofc, swift = run_grid(_macro_cell, cells, workers=workers)
     improvements = {}
     for workload in MACRO_WORKLOADS:
         base = swift.total_exec_s.get(workload, 0.0)

@@ -1,0 +1,285 @@
+"""Wall-clock performance trajectory for the simulator itself.
+
+``repro perf`` measures three layers and appends one schema-versioned
+entry to ``BENCH_perf.json`` at the repo root, so the simulator's own
+speed is tracked across PRs the same way the simulated results are:
+
+* **kernel** — events/second on synthetic event-loop patterns.  The
+  headline number is the *sleep chain* (a process doing back-to-back
+  ``yield delay`` sleeps), the dominant pattern in the real
+  simulations; chain/churn/event/immediate cover the other hot paths.
+* **macro** — simulated seconds per wall second on the Figure 9/10
+  macro workload (kernel + models + caching, the end-to-end rate).
+* **sweep** — wall seconds for a small Figure 8 sweep, serial vs the
+  parallel runner's default fan-out.
+
+Numbers are wall-clock and machine-dependent; the file records a
+trajectory on whatever machine CI runs, not a portable benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from time import perf_counter
+from typing import Dict, Optional
+
+from repro.sim import Event, Kernel
+
+SCHEMA_VERSION = 1
+
+#: Default trajectory file, at the repo root when run from a checkout.
+DEFAULT_PATH = "BENCH_perf.json"
+
+
+# ---------------------------------------------------------------------------
+# Kernel microbenchmarks (events/second).
+
+
+def _bench_sleep(n: int) -> float:
+    """Headline: back-to-back bare-delay sleeps, one per event."""
+    kernel = Kernel()
+
+    def proc():
+        for _ in range(n):
+            yield 1.0
+
+    kernel.process(proc())
+    start = perf_counter()
+    kernel.run()
+    return n / (perf_counter() - start)
+
+
+def _bench_chain(n: int) -> float:
+    """Sequential timeout objects (the pre-fast-path sleep idiom)."""
+    kernel = Kernel()
+
+    def proc():
+        for _ in range(n):
+            yield kernel.timeout(1.0)
+
+    kernel.process(proc())
+    start = perf_counter()
+    kernel.run()
+    return n / (perf_counter() - start)
+
+
+def _bench_churn(n: int) -> float:
+    """Process churn: spawn/bootstrap/terminate short-lived processes."""
+    kernel = Kernel()
+
+    def child():
+        yield kernel.timeout(0.5)
+
+    def spawner():
+        for _ in range(n):
+            yield kernel.process(child())
+
+    kernel.process(spawner())
+    start = perf_counter()
+    kernel.run()
+    return (3 * n) / (perf_counter() - start)
+
+
+def _bench_event(n: int) -> float:
+    """Event signaling: producer/consumer ping-pong via succeed()."""
+    kernel = Kernel()
+    box = {"ev": None}
+
+    def producer():
+        for _ in range(n):
+            yield kernel.timeout(0.001)
+            ev = box["ev"]
+            if ev is not None:
+                box["ev"] = None
+                ev.succeed(42)
+
+    def consumer():
+        for _ in range(n):
+            ev = Event(kernel)
+            box["ev"] = ev
+            yield ev
+
+    kernel.process(producer())
+    kernel.process(consumer())
+    start = perf_counter()
+    kernel.run()
+    return (3 * n) / (perf_counter() - start)
+
+
+def _bench_immediate(n: int) -> float:
+    """Same-instant delivery: pre-triggered events yielded in a loop."""
+    kernel = Kernel()
+
+    def proc():
+        for _ in range(n):
+            ev = Event(kernel)
+            ev.succeed(1)
+            yield ev
+
+    kernel.process(proc())
+    start = perf_counter()
+    kernel.run()
+    return n / (perf_counter() - start)
+
+
+KERNEL_PATTERNS = {
+    "sleep": _bench_sleep,
+    "chain": _bench_chain,
+    "churn": _bench_churn,
+    "event": _bench_event,
+    "immediate": _bench_immediate,
+}
+
+
+def bench_kernel(n: int = 200_000, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` events/second for each kernel pattern."""
+    results: Dict[str, float] = {}
+    for name, fn in KERNEL_PATTERNS.items():
+        results[name] = max(fn(n) for _ in range(repeats))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# End-to-end rates.
+
+
+def bench_macro(duration_s: float = 300.0, seed: int = 0) -> Dict[str, float]:
+    """Simulated seconds per wall second on the macro workload."""
+    from repro.bench.macro import run_macro
+    from repro.workloads.faasload import TenantProfile
+
+    start = perf_counter()
+    run_macro("ofc", TenantProfile.NORMAL, duration_s=duration_s, seed=seed)
+    wall_s = perf_counter() - start
+    return {
+        "sim_duration_s": duration_s,
+        "wall_s": wall_s,
+        "sim_s_per_wall_s": duration_s / wall_s,
+    }
+
+
+def bench_sweep(workers: Optional[int] = None, seed: int = 0) -> Dict:
+    """Wall seconds for a small Figure 8 sweep, serial vs parallel."""
+    from repro.bench.fig8 import run_fig8
+    from repro.bench.runner import default_workers
+    from repro.sim.latency import KB
+
+    sizes = (16 * KB, 1024 * KB)
+    start = perf_counter()
+    run_fig8(sizes=sizes, seed=seed, workers=1)
+    serial_s = perf_counter() - start
+    if workers is None:
+        workers = default_workers()
+    parallel_s = serial_s
+    if workers > 1:
+        start = perf_counter()
+        run_fig8(sizes=sizes, seed=seed, workers=workers)
+        parallel_s = perf_counter() - start
+    return {
+        "cells": len(sizes) * 4,
+        "workers": workers,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Trajectory file.
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None
+
+
+def run_perf(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    label: Optional[str] = None,
+) -> Dict:
+    """Measure all layers and return one trajectory entry."""
+    n = 50_000 if quick else 200_000
+    kernel = bench_kernel(n=n, repeats=2 if quick else 3)
+    macro = bench_macro(duration_s=120.0 if quick else 300.0)
+    sweep = bench_sweep(workers=workers)
+    entry = {
+        "schema": SCHEMA_VERSION,
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": _git_commit(),
+        "label": label,
+        "quick": quick,
+        "machine": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        # Headline: sleep-chain turnover, the dominant pattern in the
+        # real simulations since all model code sleeps via bare delays.
+        "kernel_events_per_sec": kernel["sleep"],
+        "kernel_patterns": kernel,
+        "macro": macro,
+        "sweep": sweep,
+    }
+    return entry
+
+
+def record(entry: Dict, path: str = DEFAULT_PATH) -> Dict:
+    """Append ``entry`` to the trajectory file (created if missing)."""
+    doc = {"schema": SCHEMA_VERSION, "entries": []}
+    if os.path.exists(path):
+        with open(path) as fh:
+            loaded = json.load(fh)
+        if loaded.get("schema") == SCHEMA_VERSION:
+            doc = loaded
+        else:
+            # Keep unknown-schema history around instead of clobbering.
+            doc["entries"] = list(loaded.get("entries", []))
+    doc["entries"].append(entry)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+def format_entry(entry: Dict) -> str:
+    """Human-readable summary of one trajectory entry."""
+    from repro.bench.reporting import format_table
+
+    rows = [
+        ("kernel events/s (sleep, headline)",
+         f"{entry['kernel_events_per_sec']:,.0f}"),
+    ]
+    for name, value in entry["kernel_patterns"].items():
+        if name != "sleep":
+            rows.append((f"kernel events/s ({name})", f"{value:,.0f}"))
+    macro = entry["macro"]
+    rows.append(
+        ("macro sim-s per wall-s", f"{macro['sim_s_per_wall_s']:,.1f}")
+    )
+    sweep = entry["sweep"]
+    rows.append(
+        (f"fig8 sweep serial ({sweep['cells']} cells)",
+         f"{sweep['serial_wall_s']:.2f} s"),
+    )
+    rows.append(
+        (f"fig8 sweep x{sweep['workers']} workers",
+         f"{sweep['parallel_wall_s']:.2f} s"),
+    )
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=f"Simulator performance ({entry['recorded_at']})",
+    )

@@ -1,0 +1,128 @@
+"""Parallel sweep runner: fan independent simulation cells across cores.
+
+Every figure sweep in this repo is a grid of *cells* — independent
+(workload × size × config) simulations that share no state and build
+their own kernels from explicit seeds.  This module runs such grids
+either serially (``workers=1``, bit-identical to the historical loops)
+or across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+Results are returned in cell order (``ProcessPoolExecutor.map``
+preserves input order), every cell derives its RNG streams from the
+explicit seed in its payload, and the serial path executes the exact
+same cell function in-process — so ``workers=N`` reproduces
+``workers=1`` exactly.  ``cell_seed`` derives stable per-cell seeds
+from a base seed and the cell's coordinates (never from Python's
+randomized ``hash``).
+
+Observability
+-------------
+When tracing is enabled in the parent (``repro.cli --trace``), the
+runner re-enables it inside each worker process and ships the cell's
+span summary back with the result; :func:`merge_obs` folds those into
+one export payload.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+def default_workers() -> int:
+    """The default fan-out: one worker per core."""
+    return os.cpu_count() or 1
+
+
+def cell_seed(base_seed: int, *coords: Any) -> int:
+    """Derive a deterministic per-cell seed from stable coordinates.
+
+    Uses CRC32 over the repr of the coordinates, mixed with the base
+    seed — stable across processes and Python runs (unlike ``hash``).
+    """
+    payload = repr(coords).encode("utf-8")
+    return (base_seed * 1_000_003 + zlib.crc32(payload)) % (2**31 - 1)
+
+
+@dataclass
+class CellOutcome:
+    """One cell's result plus bookkeeping the runner adds."""
+
+    cell: Any
+    result: Any
+    wall_s: float
+    obs: Optional[dict] = None
+
+
+def _run_cell(payload) -> CellOutcome:
+    """Worker entry point; must stay module-level (pickled by the pool)."""
+    fn, cell, tracing = payload
+    if tracing:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
+    start = perf_counter()
+    result = fn(cell)
+    wall_s = perf_counter() - start
+    obs = None
+    if tracing:
+        from repro.obs import merged_summary
+
+        obs = merged_summary()
+    return CellOutcome(cell=cell, result=result, wall_s=wall_s, obs=obs)
+
+
+def run_cells(
+    fn: Callable[[Any], Any],
+    cells: Sequence[Any],
+    workers: Optional[int] = None,
+) -> List[CellOutcome]:
+    """Run ``fn(cell)`` for every cell; results come back in cell order.
+
+    ``fn`` and each cell must be picklable (module-level function,
+    plain-data payload).  ``workers=None`` uses one worker per core;
+    ``workers=1`` runs serially in-process (no executor, no overhead).
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    from repro.obs import tracing_enabled
+
+    tracing = tracing_enabled()
+    payloads = [(fn, cell, tracing) for cell in cells]
+    if workers == 1 or len(cells) <= 1:
+        return [_run_cell(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as ex:
+        return list(ex.map(_run_cell, payloads))
+
+
+def run_grid(
+    fn: Callable[[Any], Any],
+    cells: Sequence[Any],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Like :func:`run_cells` but returns just the raw results."""
+    return [outcome.result for outcome in run_cells(fn, cells, workers)]
+
+
+def merge_obs(outcomes: Sequence[CellOutcome]) -> Dict[str, Any]:
+    """Fold per-cell span summaries into one export payload."""
+    merged: Dict[str, Any] = {"cells": []}
+    for index, outcome in enumerate(outcomes):
+        if outcome.obs is None:
+            continue
+        merged["cells"].append(
+            {
+                "cell": repr(outcome.cell),
+                "index": index,
+                "wall_s": outcome.wall_s,
+                "summary": outcome.obs,
+            }
+        )
+    return merged

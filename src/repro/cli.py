@@ -7,14 +7,22 @@ Usage::
     python -m repro.cli all
     python -m repro.cli report --quick
     python -m repro.cli fig9 --trace results/fig9-trace.json
+    python -m repro.cli fig8 --workers 8
+    python -m repro.cli perf --quick
 
 Each experiment prints the same rows the corresponding paper artifact
 reports. Heavy experiments accept ``--quick`` to shrink sample counts.
+Sweep experiments (fig7, fig8, fig9, fig10) fan independent cells
+across processes; ``--workers N`` caps the fan-out (``--workers 1``
+forces the serial path, the default is one worker per core).
 
 ``report`` runs the macro workload and dumps the unified observability
-JSON (metrics + span summary) to ``--out``.  ``--trace PATH`` enables
-span tracing for any experiment and writes the trace summary to PATH.
-A failing experiment prints its traceback to stderr and exits 1.
+JSON (metrics + span summary) to ``--out``.  ``perf`` benchmarks the
+simulator itself (kernel events/sec, macro sim-s/wall-s, sweep wall
+time) and appends an entry to the ``--bench-out`` trajectory file.
+``--trace PATH`` enables span tracing for any experiment and writes
+the trace summary to PATH.  A failing experiment prints its traceback
+to stderr and exits 1.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from typing import Callable, Dict
 from repro.bench.reporting import format_table
 
 
-def _fig2(quick: bool) -> str:
+def _fig2(quick: bool, workers=None) -> str:
     from repro.bench.fig2 import run_fig2
 
     result = run_fig2(n=150 if quick else 400)
@@ -41,7 +49,7 @@ def _fig2(quick: bool) -> str:
     )
 
 
-def _fig3(quick: bool) -> str:
+def _fig3(quick: bool, workers=None) -> str:
     from repro.bench.fig3 import run_fig3_pipeline, run_fig3_single
 
     rows = run_fig3_single() + run_fig3_pipeline()
@@ -56,7 +64,7 @@ def _fig3(quick: bool) -> str:
     )
 
 
-def _table1(quick: bool) -> str:
+def _table1(quick: bool, workers=None) -> str:
     from repro.bench.table1 import run_table1
 
     functions = (
@@ -80,7 +88,7 @@ def _table1(quick: bool) -> str:
     )
 
 
-def _benefit(quick: bool) -> str:
+def _benefit(quick: bool, workers=None) -> str:
     from repro.bench.table1 import run_benefit_model_eval
 
     result = run_benefit_model_eval(n_samples=200 if quick else 400)
@@ -91,7 +99,7 @@ def _benefit(quick: bool) -> str:
     )
 
 
-def _fig5(quick: bool) -> str:
+def _fig5(quick: bool, workers=None) -> str:
     from repro.bench.fig5 import run_fig5
 
     result = run_fig5(n_samples=200 if quick else 400)
@@ -106,7 +114,7 @@ def _fig5(quick: bool) -> str:
     )
 
 
-def _fig6(quick: bool) -> str:
+def _fig6(quick: bool, workers=None) -> str:
     from repro.bench.fig6 import run_fig6
 
     functions = ["wand_sepia", "sharp_resize"] if quick else None
@@ -121,7 +129,7 @@ def _fig6(quick: bool) -> str:
     )
 
 
-def _maturation(quick: bool) -> str:
+def _maturation(quick: bool, workers=None) -> str:
     from repro.bench.maturation import run_maturation
 
     result = run_maturation(max_invocations=300 if quick else 500)
@@ -137,13 +145,13 @@ def _maturation(quick: bool) -> str:
     )
 
 
-def _fig7(quick: bool) -> str:
+def _fig7(quick: bool, workers=None) -> str:
     from repro.bench.fig7 import run_fig7_single
     from repro.sim.latency import KB
     from repro.workloads.functions import FIGURE7_FUNCTIONS
 
     functions = FIGURE7_FUNCTIONS[:2] if quick else FIGURE7_FUNCTIONS
-    rows = run_fig7_single(functions, sizes=(16 * KB, 128 * KB))
+    rows = run_fig7_single(functions, sizes=(16 * KB, 128 * KB), workers=workers)
     return format_table(
         ["workload", "size", "config", "total (ms)"],
         [(r.workload, r.input_size, r.config, r.total_s * 1e3) for r in rows],
@@ -151,12 +159,12 @@ def _fig7(quick: bool) -> str:
     )
 
 
-def _fig8(quick: bool) -> str:
+def _fig8(quick: bool, workers=None) -> str:
     from repro.bench.fig8 import run_fig8
     from repro.sim.latency import KB
 
     sizes = (16 * KB, 1024 * KB) if quick else (1 * KB, 16 * KB, 1024 * KB, 3072 * KB)
-    rows = run_fig8(sizes=sizes)
+    rows = run_fig8(sizes=sizes, workers=workers)
     return format_table(
         ["scenario", "size (kB)", "scaling (ms)", "exec (ms)"],
         [
@@ -168,12 +176,14 @@ def _fig8(quick: bool) -> str:
     )
 
 
-def _fig9(quick: bool) -> str:
+def _fig9(quick: bool, workers=None) -> str:
     from repro.bench.macro import MACRO_WORKLOADS, run_macro_comparison
     from repro.workloads.faasload import TenantProfile
 
     ofc, swift, improvements = run_macro_comparison(
-        TenantProfile.NORMAL, duration_s=300.0 if quick else 1800.0
+        TenantProfile.NORMAL,
+        duration_s=300.0 if quick else 1800.0,
+        workers=workers,
     )
     return format_table(
         ["workload", "OWK-Swift (s)", "OFC (s)", "improvement %"],
@@ -189,7 +199,7 @@ def _fig9(quick: bool) -> str:
     )
 
 
-def _table2(quick: bool) -> str:
+def _table2(quick: bool, workers=None) -> str:
     from repro.bench.macro import run_macro
     from repro.workloads.faasload import TenantProfile
 
@@ -203,13 +213,38 @@ def _table2(quick: bool) -> str:
     )
 
 
+def _fig10(quick: bool, workers=None) -> str:
+    from repro.bench.fig10 import run_fig10
+
+    series = run_fig10(
+        duration_s=300.0 if quick else 900.0, workers=workers
+    )
+    rows = []
+    for s in series:
+        for minute, gb in s.per_minute():
+            rows.append((s.profile, minute, gb))
+    return format_table(
+        ["profile", "minute", "cache size (GB)"],
+        rows,
+        title="Figure 10 — OFC cache size over time",
+    )
+
+
 def _report(quick: bool, out: str) -> str:
     from repro.bench.report import run_report
 
     return run_report(quick=quick, out=out)
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+def _perf(quick: bool, workers, out: str) -> str:
+    from repro.bench.perfbench import format_entry, record, run_perf
+
+    entry = run_perf(quick=quick, workers=workers)
+    record(entry, path=out)
+    return format_entry(entry) + f"\n[entry appended to {out}]"
+
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
     "table1": _table1,
@@ -221,6 +256,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "table2": _table2,
+    "fig10": _fig10,
 }
 
 
@@ -239,10 +275,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names, 'all', 'list', or 'report'",
+        help="experiment names, 'all', 'list', 'report', or 'perf'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sample counts"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="process fan-out for sweep experiments (1 = serial; "
+        "default: one worker per core)",
     )
     parser.add_argument(
         "--trace",
@@ -256,12 +300,19 @@ def main(argv=None) -> int:
         default="results/report.json",
         help="output path for the 'report' experiment's metrics JSON",
     )
+    parser.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default="BENCH_perf.json",
+        help="trajectory file the 'perf' command appends to",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
         for name in EXPERIMENTS:
             print(name)
         print("report")
+        print("perf")
         return 0
     names = (
         list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
@@ -275,14 +326,16 @@ def main(argv=None) -> int:
     try:
         for name in names:
             runner = EXPERIMENTS.get(name)
-            if runner is None and name != "report":
+            if runner is None and name not in ("report", "perf"):
                 print(f"unknown experiment: {name}", file=sys.stderr)
                 return 2
             try:
                 if name == "report":
                     print(_report(args.quick, args.out))
+                elif name == "perf":
+                    print(_perf(args.quick, args.workers, args.bench_out))
                 else:
-                    print(runner(args.quick))
+                    print(runner(args.quick, workers=args.workers))
             except Exception:
                 # Surface the failure as an unambiguous exit status so
                 # CI smoke steps can gate on this command.

@@ -280,7 +280,7 @@ class CacheAgent:
     def _eviction_loop(self) -> Generator:
         period = self.config.eviction_period_s
         while True:
-            yield self.kernel.timeout(period)
+            yield period
             yield from self.run_periodic_eviction()
 
     def run_periodic_eviction(self) -> Generator:
@@ -333,7 +333,7 @@ class CacheAgent:
         )
         ticks = 0
         while True:
-            yield self.kernel.timeout(sample_period)
+            yield sample_period
             committed = self.invoker.committed_mb
             if self._last_committed_mb is not None:
                 self._churn_samples.append(

@@ -78,7 +78,7 @@ class PersistorService:
             # The persistor runs as a FaaS helper function: it pays the
             # platform dispatch overhead before touching the RSDS.
             span = self.kernel.tracer.start("persistor.flush", final=final)
-            yield self.kernel.timeout(PLATFORM_OVERHEAD.sample(self.rng))
+            yield PLATFORM_OVERHEAD.sample(self.rng)
             try:
                 ok = yield from self.store.persist_payload(
                     bucket, name, payload, version

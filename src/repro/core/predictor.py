@@ -47,7 +47,7 @@ class Predictor:
         record: InvocationRecord,
     ) -> Generator[object, object, SizingDecision]:
         """The platform sizing hook (runs on the critical path)."""
-        yield self.kernel.timeout(OFC_CONTROL_OVERHEAD.sample(self.rng))
+        yield OFC_CONTROL_OVERHEAD.sample(self.rng)
         features = extract_features(request, spec, self.store)
         models = self.trainer.models_for(spec.key)
         intervals = self.trainer.intervals

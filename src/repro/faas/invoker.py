@@ -131,7 +131,7 @@ class InvocationContext:
         slices = COMPUTE_SLICES if duration > 0 else 1
         for i in range(1, slices + 1):
             if duration > 0:
-                yield self.kernel.timeout(duration / slices)
+                yield duration / slices
             usage = footprint_mb * i / slices
             self.sandbox.current_usage_mb = usage
             self.record.peak_memory_mb = max(self.record.peak_memory_mb, usage)
@@ -271,7 +271,7 @@ class Invoker:
                 )
         self.stats.sandboxes_created += 1
         self.stats.cold_starts += 1
-        yield self.kernel.timeout(COLD_START.sample(self.rng))
+        yield COLD_START.sample(self.rng)
         sandbox.state = SandboxState.IDLE
         sandbox.last_used_at = self.kernel.now
         return sandbox
@@ -302,7 +302,7 @@ class Invoker:
         self.stats.resizes += 1
 
         def background_update():
-            yield self.kernel.timeout(DOCKER_UPDATE.sample(self.rng))
+            yield DOCKER_UPDATE.sample(self.rng)
 
         self.kernel.process(background_update(), name="docker-update")
 
@@ -326,7 +326,7 @@ class Invoker:
             timeout_s = self.keepalive_s
 
         def reaper():
-            yield self.kernel.timeout(timeout_s)
+            yield timeout_s
             if (
                 sandbox.alive
                 and sandbox.idle
@@ -363,7 +363,7 @@ class Invoker:
             else:
                 sandbox.reserve()  # before any yield: prevents double-booking
                 self.stats.warm_starts += 1
-                yield self.kernel.timeout(WARM_START.sample(self.rng))
+                yield WARM_START.sample(self.rng)
                 if abs(sandbox.memory_limit_mb - memory_mb) > _LIMIT_EPS_MB:
                     yield from self.resize_sandbox(sandbox, memory_mb)
             sandbox.begin_invocation(self.kernel.now)

@@ -138,7 +138,7 @@ class FaaSPlatform:
         span = self.kernel.tracer.start(
             "faas.invoke", function=request.function, tenant=request.tenant
         )
-        yield self.kernel.timeout(PLATFORM_OVERHEAD.sample(self.rng))
+        yield PLATFORM_OVERHEAD.sample(self.rng)
         if self.sizing_policy is not None:
             decision = yield from self.sizing_policy(request, spec, record)
         else:

@@ -165,7 +165,7 @@ class CacheCluster:
             longest = max(longest, BACKUP_WRITE.sample(self.rng, size))
             kept_backups.append(backup_id)
         if longest:
-            yield self.kernel.timeout(longest)
+            yield longest
         self.coordinator.record_placement(key, master_id, kept_backups)
         self.stats.puts += 1
         span.finish(bytes=size)

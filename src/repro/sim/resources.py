@@ -52,18 +52,44 @@ class Resource:
         self._drain()
 
     def resize(self, capacity: int) -> None:
-        """Change total capacity; shrinking never revokes granted units."""
+        """Change total capacity; shrinking never revokes granted units.
+
+        Queued acquires larger than the new capacity can never be
+        satisfied; they fail with :class:`SimulationError` instead of
+        wedging the FIFO head and starving smaller requests behind them.
+        """
         if capacity < 0:
             raise SimulationError("resource capacity must be non-negative")
         self.capacity = capacity
+        if self._waiters:
+            kept: Deque = deque()
+            for event, amount in self._waiters:
+                if event.abandoned:
+                    continue
+                if amount > capacity:
+                    event.fail(
+                        SimulationError(
+                            f"resize({capacity}) below queued "
+                            f"acquire({amount})"
+                        )
+                    )
+                else:
+                    kept.append((event, amount))
+            self._waiters = kept
         self._drain()
 
     def _drain(self) -> None:
-        while self._waiters:
-            event, amount = self._waiters[0]
+        waiters = self._waiters
+        while waiters:
+            event, amount = waiters[0]
+            if event.abandoned:
+                # The waiter was interrupted while queued; granting would
+                # leak the units forever (nobody is left to release).
+                waiters.popleft()
+                continue
             if self.in_use + amount > self.capacity:
                 break
-            self._waiters.popleft()
+            waiters.popleft()
             self.in_use += amount
             event.succeed(amount)
 
@@ -80,10 +106,16 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter.abandoned:
+                # The getter was interrupted while queued; handing it the
+                # item would silently drop it.
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
 
     def get(self) -> Event:
         event = Event(self.kernel)

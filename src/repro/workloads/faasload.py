@@ -214,7 +214,7 @@ class FaaSLoad:
             wait = self._next_interval(runtime)
             if self.kernel.now + wait > deadline:
                 break
-            yield self.kernel.timeout(wait)
+            yield wait
             runtime.invocations_fired += 1
             if runtime.app is not None:
                 refs = runtime.input_refs[

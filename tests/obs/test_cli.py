@@ -14,7 +14,7 @@ def _clean_tracing():
     reset_tracing()
 
 
-def _fake_experiment(quick):
+def _fake_experiment(quick, workers=None):
     kernel = Kernel()
 
     def proc():
@@ -25,7 +25,7 @@ def _fake_experiment(quick):
     return "fake done"
 
 
-def _failing_experiment(quick):
+def _failing_experiment(quick, workers=None):
     raise RuntimeError("boom")
 
 

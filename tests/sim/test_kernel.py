@@ -296,11 +296,91 @@ def test_yielding_non_event_raises():
     kernel = Kernel()
 
     def bad():
-        yield 42
+        yield "not an event"
 
     kernel.process(bad())
     with pytest.raises(SimulationError, match="expected an Event"):
         kernel.run()
+
+
+def test_yielding_bare_delay_sleeps():
+    # Fast sleep path: `yield <float|int>` behaves like yielding a
+    # kernel.timeout of the same delay.
+    kernel = Kernel()
+    wakes = []
+
+    def sleeper():
+        yield 1.5
+        wakes.append(kernel.now)
+        yield 2  # ints work too
+        wakes.append(kernel.now)
+        yield 0.0  # zero sleep resumes in the same instant
+        wakes.append(kernel.now)
+
+    kernel.run_process(sleeper())
+    assert wakes == [1.5, 3.5, 3.5]
+
+
+def test_bare_delay_orders_like_timeout():
+    # A bare-delay sleep consumes the same schedule slot as the
+    # equivalent timeout: same-instant wakes interleave identically.
+    def run(variant):
+        kernel = Kernel()
+        order = []
+
+        def a():
+            if variant == "sleep":
+                yield 1.0
+            else:
+                yield kernel.timeout(1.0)
+            order.append("a")
+
+        def b():
+            yield kernel.timeout(1.0)
+            order.append("b")
+
+        kernel.process(a())
+        kernel.process(b())
+        kernel.run()
+        return order
+
+    assert run("sleep") == run("timeout") == ["a", "b"]
+
+
+def test_negative_bare_delay_raises():
+    kernel = Kernel()
+
+    def bad():
+        yield -1.0
+
+    kernel.process(bad())
+    with pytest.raises(SimulationError, match="negative sleep delay"):
+        kernel.run()
+
+
+def test_interrupted_sleep_drops_stale_wake():
+    kernel = Kernel()
+    log = []
+
+    def sleeper():
+        try:
+            yield 10.0
+            log.append(("woke", kernel.now))
+        except Interrupt:
+            log.append(("interrupted", kernel.now))
+            yield 1.0
+            log.append(("woke", kernel.now))
+
+    proc = kernel.process(sleeper())
+
+    def interrupter():
+        yield kernel.timeout(3.0)
+        proc.interrupt("stop")
+
+    kernel.process(interrupter())
+    kernel.run()
+    # The original wake at t=10 must not fire a second resume.
+    assert log == [("interrupted", 3.0), ("woke", 4.0)]
 
 
 def test_deadlock_detection_in_run_process():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Kernel, Resource, SimulationError, Store
+from repro.sim import Interrupt, Kernel, Resource, SimulationError, Store
 
 
 def test_resource_grants_up_to_capacity():
@@ -162,3 +162,147 @@ def test_store_len():
     store.put(1)
     store.put(2)
     assert len(store) == 2
+
+
+def test_interrupted_queued_acquire_does_not_leak_capacity():
+    # A process interrupted while waiting in the acquire queue must not
+    # be granted capacity later (nobody would ever release it).
+    kernel = Kernel()
+    resource = Resource(kernel, capacity=1)
+    grants = []
+
+    def holder():
+        yield resource.acquire()
+        yield kernel.timeout(5.0)
+        resource.release()
+
+    def victim():
+        try:
+            yield resource.acquire()
+            grants.append("victim")
+            resource.release()
+        except Interrupt:
+            pass
+
+    def bystander():
+        yield kernel.timeout(2.0)  # queue behind victim
+        yield resource.acquire()
+        grants.append("bystander")
+        resource.release()
+
+    kernel.process(holder())
+    victim_proc = kernel.process(victim())
+
+    def interrupter():
+        yield kernel.timeout(3.0)
+        victim_proc.interrupt("cancelled")
+
+    kernel.process(bystander())
+    kernel.process(interrupter())
+    kernel.run()
+    assert grants == ["bystander"]
+    assert resource.in_use == 0
+    assert resource.available == resource.capacity
+
+
+def test_interrupted_queued_getter_does_not_swallow_item():
+    # A getter interrupted while queued must not consume the next put.
+    kernel = Kernel()
+    store = Store(kernel)
+    received = []
+
+    def victim():
+        try:
+            item = yield store.get()
+            received.append(("victim", item))
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield kernel.timeout(1.0)  # queue behind victim
+        item = yield store.get()
+        received.append(("survivor", item))
+
+    victim_proc = kernel.process(victim())
+    kernel.process(survivor())
+
+    def driver():
+        yield kernel.timeout(2.0)
+        victim_proc.interrupt("cancelled")
+        yield kernel.timeout(1.0)
+        store.put("precious")
+
+    kernel.process(driver())
+    kernel.run()
+    assert received == [("survivor", "precious")]
+    assert len(store) == 0
+
+
+def test_resize_below_queued_acquire_fails_waiter():
+    # Shrinking capacity below a queued request must fail that waiter
+    # instead of wedging the FIFO head forever.
+    kernel = Kernel()
+    resource = Resource(kernel, capacity=4)
+    log = []
+
+    def holder():
+        yield resource.acquire(2)
+        yield kernel.timeout(10.0)
+        resource.release(2)
+
+    def big_waiter():
+        try:
+            yield resource.acquire(3)
+            log.append("big granted")
+        except SimulationError as exc:
+            log.append(f"big failed: {exc}")
+
+    def small_waiter():
+        yield kernel.timeout(1.0)  # queue behind big_waiter
+        yield resource.acquire(1)
+        log.append(("small granted", kernel.now))
+        resource.release(1)
+
+    kernel.process(holder())
+    kernel.process(big_waiter())
+    kernel.process(small_waiter())
+
+    def resizer():
+        yield kernel.timeout(2.0)
+        resource.resize(2)
+
+    kernel.process(resizer())
+    kernel.run()
+    assert log[0].startswith("big failed:")
+    # The small request is granted as soon as the oversized head waiter
+    # is cleared out of the way (holder still owns both units).
+    assert ("small granted", 10.0) in log
+    assert resource.capacity == 2
+    assert resource.in_use == 0
+
+
+def test_resize_up_drains_waiters():
+    kernel = Kernel()
+    resource = Resource(kernel, capacity=1)
+    log = []
+
+    def holder():
+        yield resource.acquire()
+        yield kernel.timeout(5.0)
+        resource.release()
+
+    def waiter():
+        yield resource.acquire()
+        log.append(kernel.now)
+        resource.release()
+
+    kernel.process(holder())
+    kernel.process(waiter())
+
+    def resizer():
+        yield kernel.timeout(1.0)
+        resource.resize(2)
+
+    kernel.process(resizer())
+    kernel.run()
+    assert log == [1.0]
