@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli fig9 --trace results/fig9-trace.json
     python -m repro.cli fig8 --workers 8
     python -m repro.cli perf --quick
+    python -m repro.cli faults
+    python -m repro.cli run --faults examples/faults/crash_restart.json
 
 Each experiment prints the same rows the corresponding paper artifact
 reports. Heavy experiments accept ``--quick`` to shrink sample counts.
@@ -20,6 +22,10 @@ forces the serial path, the default is one worker per core).
 JSON (metrics + span summary) to ``--out``.  ``perf`` benchmarks the
 simulator itself (kernel events/sec, macro sim-s/wall-s, sweep wall
 time) and appends an entry to the ``--bench-out`` trajectory file.
+``faults`` runs the availability experiment (baseline vs a mid-run
+node crash and restart).  ``run`` drives one deployment under a JSON
+fault schedule (``--faults PATH``, ``--duration S``) and prints the
+availability timeline.
 ``--trace PATH`` enables span tracing for any experiment and writes
 the trace summary to PATH.  A failing experiment prints its traceback
 to stderr and exits 1.
@@ -230,6 +236,82 @@ def _fig10(quick: bool, workers=None) -> str:
     )
 
 
+def _fmt_ratio(value) -> str:
+    return f"{value:.3f}" if value is not None else "n/a"
+
+
+def _faults(quick: bool, workers=None) -> str:
+    from repro.bench.faults import run_fault_availability
+
+    baseline, faulted = run_fault_availability(
+        duration_s=120.0 if quick else 240.0, workers=workers
+    )
+    rows = [
+        (
+            r.scenario,
+            r.completed,
+            r.failed,
+            _fmt_ratio(r.final_hit_ratio),
+            _fmt_ratio(r.min_windowed_hit_ratio),
+            r.recovered_objects,
+            r.repaired_keys,
+            r.dirty_final_at_end,
+        )
+        for r in (baseline, faulted)
+    ]
+    return format_table(
+        [
+            "scenario",
+            "ok",
+            "failed",
+            "hit ratio",
+            "min window",
+            "recovered",
+            "repaired",
+            "dirty finals",
+        ],
+        rows,
+        title="Availability — crash/restart vs baseline",
+    )
+
+
+def _run_schedule(quick: bool, faults_path, duration_s: float) -> str:
+    from repro.bench.faults import run_availability
+    from repro.faults import FaultSchedule
+
+    schedule = None
+    scenario = "no-faults"
+    if faults_path:
+        schedule = FaultSchedule.load(faults_path)
+        scenario = faults_path
+    if quick:
+        duration_s = min(duration_s, 120.0)
+    result = run_availability(
+        scenario=scenario, schedule=schedule, duration_s=duration_s
+    )
+    rows = [
+        (
+            f"{p.t:.0f}",
+            _fmt_ratio(p.hit_ratio),
+            p.live_servers,
+            p.under_replicated,
+        )
+        for p in result.points
+    ]
+    rows.append(("--", "--", "--", "--"))
+    rows.append(("completed", result.completed, "", ""))
+    rows.append(("failed", result.failed, "", ""))
+    rows.append(("lost objects", result.lost_objects, "", ""))
+    rows.append(("recovered", result.recovered_objects, "", ""))
+    rows.append(("repaired keys", result.repaired_keys, "", ""))
+    rows.append(("dirty finals at end", result.dirty_final_at_end, "", ""))
+    return format_table(
+        ["t (s)", "hit ratio", "live nodes", "under-replicated"],
+        rows,
+        title=f"Fault schedule run — {scenario}",
+    )
+
+
 def _report(quick: bool, out: str) -> str:
     from repro.bench.report import run_report
 
@@ -257,6 +339,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig9": _fig9,
     "table2": _table2,
     "fig10": _fig10,
+    "faults": _faults,
 }
 
 
@@ -275,7 +358,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names, 'all', 'list', 'report', or 'perf'",
+        help="experiment names, 'all', 'list', 'report', 'perf', or 'run'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sample counts"
@@ -306,6 +389,19 @@ def main(argv=None) -> int:
         default="BENCH_perf.json",
         help="trajectory file the 'perf' command appends to",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="JSON fault schedule for the 'run' command",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        metavar="S",
+        default=240.0,
+        help="simulated duration for the 'run' command (seconds)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -313,6 +409,7 @@ def main(argv=None) -> int:
             print(name)
         print("report")
         print("perf")
+        print("run")
         return 0
     names = (
         list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
@@ -326,7 +423,7 @@ def main(argv=None) -> int:
     try:
         for name in names:
             runner = EXPERIMENTS.get(name)
-            if runner is None and name not in ("report", "perf"):
+            if runner is None and name not in ("report", "perf", "run"):
                 print(f"unknown experiment: {name}", file=sys.stderr)
                 return 2
             try:
@@ -334,6 +431,8 @@ def main(argv=None) -> int:
                     print(_report(args.quick, args.out))
                 elif name == "perf":
                     print(_perf(args.quick, args.workers, args.bench_out))
+                elif name == "run":
+                    print(_run_schedule(args.quick, args.faults, args.duration))
                 else:
                     print(runner(args.quick, workers=args.workers))
             except Exception:

@@ -27,6 +27,7 @@ from repro.kvcache.errors import NoSuchKey
 from repro.obs.registry import MetricsRegistry
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngRegistry
+from repro.storage.errors import StoreUnavailable
 from repro.storage.latency_profiles import LatencyProfile, SWIFT_PROFILE
 from repro.storage.object_store import ObjectStore
 
@@ -126,7 +127,7 @@ class OFCPlatform:
         registry.register_collector("ofc", self.metrics.snapshot)
         registry.register_collector("table2", self.table2_snapshot)
         registry.register_collector("rclib", self._rclib_snapshot)
-        registry.register_collector("kvcache", self.cluster.stats.snapshot)
+        registry.register_collector("kvcache", self.cluster.stats_snapshot)
         registry.register_collector("rsds", self.store.stats.snapshot)
         registry.register_collector(
             "persistor", lambda: asdict(self.persistor.stats)
@@ -248,7 +249,14 @@ class OFCPlatform:
                     except NoSuchKey:
                         continue
                     if self.store.contains(bucket, name):
-                        yield from self.store.delete(bucket, name, internal=True)
+                        try:
+                            yield from self.store.delete(
+                                bucket, name, internal=True
+                            )
+                        except StoreUnavailable:
+                            # Outage mid-cleanup: the orphan shadow stays
+                            # in the RSDS; harmless (zero payload).
+                            continue
             self.metrics.pipeline_cleanups += 1
             self.metrics.intermediate_objects_removed += removed
 

@@ -16,8 +16,13 @@ from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import NoSuchKey
 from repro.sim.kernel import Event, Kernel
 from repro.sim.latency import PLATFORM_OVERHEAD
-from repro.storage.errors import NoSuchObject
+from repro.storage.errors import NoSuchObject, StoreUnavailable
 from repro.storage.object_store import ObjectStore
+
+#: Retry policy for transient RSDS failures: capped exponential backoff.
+RETRY_BASE_DELAY = 0.1
+RETRY_MAX_DELAY = 5.0
+RETRY_MAX_ATTEMPTS = 8
 
 
 @dataclass
@@ -27,6 +32,8 @@ class PersistorStats:
     superseded: int = 0
     bytes_persisted: int = 0
     boosts: int = 0
+    retries: int = 0
+    gave_up: int = 0
 
 
 class PersistorService:
@@ -79,22 +86,36 @@ class PersistorService:
             # platform dispatch overhead before touching the RSDS.
             span = self.kernel.tracer.start("persistor.flush", final=final)
             yield PLATFORM_OVERHEAD.sample(self.rng)
-            try:
-                ok = yield from self.store.persist_payload(
-                    bucket, name, payload, version
-                )
-            except NoSuchObject:
-                if create_if_missing:
-                    self.store.ensure_bucket(bucket)
-                    yield from self.store.put(
-                        bucket, name, payload, size, internal=True
+            ok = False
+            gave_up = False
+            backoff = RETRY_BASE_DELAY
+            for attempt in range(RETRY_MAX_ATTEMPTS):
+                try:
+                    ok = yield from self._flush_once(
+                        bucket, name, payload, version, size, create_if_missing
                     )
-                    ok = True
-                else:
-                    # The object was deleted while this persist was
-                    # queued (e.g. a pipeline cleanup removed its
-                    # intermediates).
-                    ok = False
+                    break
+                except StoreUnavailable:
+                    # Transient RSDS failure: back off and retry.  The
+                    # healthy path takes the break on attempt 0 without
+                    # any extra yields, so no-fault schedules are
+                    # unchanged.
+                    if attempt == RETRY_MAX_ATTEMPTS - 1:
+                        gave_up = True
+                        break
+                    self.stats.retries += 1
+                    yield backoff
+                    backoff = min(backoff * 2.0, RETRY_MAX_DELAY)
+            if gave_up:
+                # Leave the cached copy dirty: eviction / agent
+                # write-back re-schedules the persist once the RSDS
+                # recovers, so the update is never silently dropped.
+                self.stats.gave_up += 1
+                span.finish(status="unavailable")
+                if self._pending.get(key) is done:
+                    del self._pending[key]
+                done.succeed(False)
+                return
             if ok and self.store.contains(bucket, name):
                 self.stats.completed += 1
                 meta = self.store.peek_meta(bucket, name)
@@ -115,6 +136,25 @@ class PersistorService:
 
         self.kernel.process(persistor(), name=f"persistor-{key}")
         return done
+
+    def _flush_once(self, bucket, name, payload, version, size, create_if_missing):
+        """One persist attempt; True when the payload landed."""
+        try:
+            return (
+                yield from self.store.persist_payload(
+                    bucket, name, payload, version
+                )
+            )
+        except NoSuchObject:
+            if create_if_missing:
+                self.store.ensure_bucket(bucket)
+                yield from self.store.put(
+                    bucket, name, payload, size, internal=True
+                )
+                return True
+            # The object was deleted while this persist was queued
+            # (e.g. a pipeline cleanup removed its intermediates).
+            return False
 
     def boost(self, key: str):
         """Generator: wait until a pending persist of ``key`` completes.

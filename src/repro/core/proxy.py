@@ -20,7 +20,7 @@ from repro.faas.records import InvocationRecord
 from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import CacheError, CapacityExceeded, NoSuchKey, ObjectTooLarge
 from repro.sim.kernel import Kernel
-from repro.storage.errors import NoSuchObject
+from repro.storage.errors import NoSuchObject, StoreUnavailable
 from repro.storage.meta import ObjectMeta, StoredObject
 from repro.storage.object_store import ObjectStore
 
@@ -38,6 +38,10 @@ class RcLibStats:
     write_back_fallbacks: int = 0
     ephemeral_bytes: int = 0
     shadow_writes: int = 0
+    degraded_reads: int = 0
+    degraded_writes: int = 0
+    bypass_reads: int = 0
+    bypass_writes: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -92,13 +96,29 @@ class RcLibClient(DataClient):
 
     # -- reads ---------------------------------------------------------------
 
+    @property
+    def _bypass_cache(self) -> bool:
+        """Degraded mode: skip the cache entirely (fault-injected)."""
+        faults = self.cluster.faults
+        return faults is not None and faults.bypass_cache
+
     def read(self, bucket: str, name: str) -> Generator[Any, Any, StoredObject]:
+        if self._bypass_cache:
+            self.stats.bypass_reads += 1
+            obj = yield from self.store.get(bucket, name, internal=True)
+            return obj
         key = f"{bucket}/{name}"
         location = self.cluster.location_of(key)
         if location is not None:
             try:
                 cached = yield from self.cluster.get(key, caller=self.node_id)
             except NoSuchKey:
+                cached = None
+            except CacheError:
+                # The master's node went down between the location check
+                # and the read (ServerDown must not reach the function):
+                # degrade to the RSDS copy below.
+                self.stats.degraded_reads += 1
                 cached = None
             if cached is not None:
                 if location == self.node_id:
@@ -150,6 +170,18 @@ class RcLibClient(DataClient):
         pipeline_id: Optional[str] = None,
     ) -> Generator[Any, Any, None]:
         self.store.ensure_bucket(bucket)
+        if self._bypass_cache:
+            self.stats.bypass_writes += 1
+            yield from self.store.put(
+                bucket,
+                name,
+                payload,
+                size,
+                content_type=content_type,
+                user_meta=user_meta,
+                internal=True,
+            )
+            return
         if intermediate:
             self.stats.ephemeral_bytes += size
         # Pipeline intermediates are always buffered in write-back mode
@@ -173,25 +205,38 @@ class RcLibClient(DataClient):
             )
             return
         # 1. Synchronous zero-payload shadow in the RSDS (strict mode).
+        key = f"{bucket}/{name}"
         version = 1
+        shadow_ok = False
         if self.config.strict_consistency:
-            meta = yield from self.store.put(
-                bucket,
-                name,
-                None,
-                size,
-                content_type=content_type,
-                user_meta=user_meta,
-                shadow=True,
-                internal=True,
-            )
-            version = meta.version
-            self.stats.shadow_writes += 1
+            try:
+                meta = yield from self.store.put(
+                    bucket,
+                    name,
+                    None,
+                    size,
+                    content_type=content_type,
+                    user_meta=user_meta,
+                    shadow=True,
+                    internal=True,
+                )
+                version = meta.version
+                shadow_ok = True
+                self.stats.shadow_writes += 1
+            except StoreUnavailable:
+                # RSDS outage: skip the shadow, buffer in the cache and
+                # let the persistor create the object (relaxed-mode
+                # write-back) once the store recovers.
+                self.stats.degraded_writes += 1
+                if self.store.contains(bucket, name):
+                    version = self.store.peek_meta(bucket, name).version + 1
+                else:
+                    cached = self.cluster.peek(key)
+                    version = (cached.version + 1) if cached is not None else 1
         else:
-            cached = self.cluster.peek(f"{bucket}/{name}")
+            cached = self.cluster.peek(key)
             version = (cached.version + 1) if cached is not None else 1
         # 2. Write-back into the cache.
-        key = f"{bucket}/{name}"
         flags = {
             "dirty": True,
             "intermediate": intermediate,
@@ -207,7 +252,7 @@ class RcLibClient(DataClient):
         except (CapacityExceeded, ObjectTooLarge, CacheError):
             # No cache room: persist the payload synchronously instead.
             self.stats.write_back_fallbacks += 1
-            if self.config.strict_consistency:
+            if self.config.strict_consistency and shadow_ok:
                 yield from self.store.persist_payload(
                     bucket, name, payload, version
                 )
@@ -223,9 +268,19 @@ class RcLibClient(DataClient):
                 )
             return
         # 3. Asynchronous persistence — but never for intermediates:
-        # pipeline-internal objects die in the cache (§6.3).
+        # pipeline-internal objects die in the cache (§6.3).  When the
+        # shadow write failed (RSDS outage) the persistor runs in
+        # create-if-missing mode and performs a full PUT on retry.
         if self.config.strict_consistency and not intermediate:
-            self.persistor.schedule(bucket, name, payload, version, final=True)
+            self.persistor.schedule(
+                bucket,
+                name,
+                payload,
+                version,
+                final=True,
+                size=size,
+                create_if_missing=not shadow_ok,
+            )
 
     # -- deletes ---------------------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""Fault injection for the simulated OFC deployment.
+
+The subsystem has three parts:
+
+* :class:`~repro.sim.faults.FaultState` — the shared knobs the
+  instrumented components (RSDS, cache cluster, rclib) consult on
+  their hot paths (zero cost while ``None``);
+* :class:`~repro.faults.schedule.FaultSchedule` — a validated,
+  time-sorted list of fault events, loaded from JSON or generated
+  stochastically from a seed;
+* :class:`~repro.faults.injector.FaultInjector` — the driver process
+  that applies a schedule to a running :class:`~repro.core.ofc.
+  OFCPlatform`: node crashes/restarts (with detection, recovery and
+  re-replication), RSDS outages and brown-outs, slow-network windows
+  and bypass-cache degraded mode.
+"""
+
+from repro.faults.injector import FaultInjector, FaultInjectorStats
+from repro.faults.schedule import (
+    EPISODE_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    NODE_KINDS,
+    ScheduleError,
+)
+
+__all__ = [
+    "EPISODE_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultInjectorStats",
+    "FaultSchedule",
+    "NODE_KINDS",
+    "ScheduleError",
+]

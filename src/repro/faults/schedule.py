@@ -1,0 +1,217 @@
+"""Fault schedules: scripted and stochastic failure timelines.
+
+A schedule is a time-sorted list of :class:`FaultEvent` records.  Two
+families of events exist:
+
+* **node events** (``crash``, ``restart``) — instantaneous, target one
+  cache node by id;
+* **episodes** (``rsds_outage``, ``rsds_brownout``, ``slow_network``,
+  ``bypass_cache``) — have a ``duration``; the injector enters the
+  condition at ``at`` and exits it ``duration`` seconds later.
+  Brown-outs and slow-network windows carry a latency ``scale``.
+
+The JSON format is a single object ``{"events": [...]}``, one dict per
+event::
+
+    {"events": [
+      {"at": 60.0,  "kind": "crash",   "node": "w1"},
+      {"at": 150.0, "kind": "restart", "node": "w1"},
+      {"at": 200.0, "kind": "rsds_outage",   "duration": 20.0},
+      {"at": 260.0, "kind": "rsds_brownout", "duration": 30.0, "scale": 4.0},
+      {"at": 300.0, "kind": "slow_network",  "duration": 30.0, "scale": 3.0},
+      {"at": 340.0, "kind": "bypass_cache",  "duration": 30.0}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Instantaneous events targeting one cache node.
+NODE_KINDS = frozenset({"crash", "restart"})
+#: Timed conditions the injector enters and exits.
+EPISODE_KINDS = frozenset(
+    {"rsds_outage", "rsds_brownout", "slow_network", "bypass_cache"}
+)
+#: Episode kinds whose ``scale`` is meaningful (latency multipliers).
+SCALED_KINDS = frozenset({"rsds_brownout", "slow_network"})
+
+ALL_KINDS = NODE_KINDS | EPISODE_KINDS
+
+
+class ScheduleError(ValueError):
+    """A fault schedule failed validation."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of a fault schedule."""
+
+    at: float
+    kind: str
+    node: Optional[str] = None
+    duration: float = 0.0
+    scale: float = 1.0
+
+    def validate(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ScheduleError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {sorted(ALL_KINDS)})"
+            )
+        if self.at < 0:
+            raise ScheduleError(f"{self.kind}: negative time {self.at}")
+        if self.kind in NODE_KINDS and not self.node:
+            raise ScheduleError(f"{self.kind}: missing 'node'")
+        if self.kind in EPISODE_KINDS and self.duration <= 0:
+            raise ScheduleError(
+                f"{self.kind} at t={self.at}: episode needs duration > 0"
+            )
+        if self.kind in SCALED_KINDS and self.scale <= 0:
+            raise ScheduleError(
+                f"{self.kind} at t={self.at}: scale must be > 0"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        unknown = set(payload) - {"at", "kind", "node", "duration", "scale"}
+        if unknown:
+            raise ScheduleError(f"unknown fault-event fields: {sorted(unknown)}")
+        try:
+            event = cls(
+                at=float(payload["at"]),
+                kind=str(payload["kind"]),
+                node=payload.get("node"),
+                duration=float(payload.get("duration", 0.0)),
+                scale=float(payload.get("scale", 1.0)),
+            )
+        except KeyError as missing:
+            raise ScheduleError(f"fault event missing field {missing}") from None
+        event.validate()
+        return event
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"at": self.at, "kind": self.kind}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.kind in EPISODE_KINDS:
+            out["duration"] = self.duration
+        if self.kind in SCALED_KINDS:
+            out["scale"] = self.scale
+        return out
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass
+class FaultSchedule:
+    """A validated, time-sorted fault timeline."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            event.validate()
+        # Stable sort: same-instant events keep their authored order.
+        self.events = sorted(self.events, key=lambda e: e.at)
+
+    # -- (de)serialization -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSchedule":
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ScheduleError('schedule must be {"events": [...]}')
+        return cls([FaultEvent.from_dict(e) for e in payload["events"]])
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last effect (episode ends included)."""
+        return max((event.end for event in self.events), default=0.0)
+
+    def nodes(self) -> List[str]:
+        return sorted(
+            {event.node for event in self.events if event.node is not None}
+        )
+
+    # -- stochastic generation ---------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration_s: float,
+        nodes: Sequence[str],
+        mean_crash_interval_s: float = 300.0,
+        mean_downtime_s: float = 60.0,
+        mean_episode_interval_s: float = 0.0,
+        mean_episode_s: float = 30.0,
+        brownout_scale: float = 4.0,
+        slow_network_scale: float = 3.0,
+    ) -> "FaultSchedule":
+        """Generate a stochastic schedule from a seed (deterministic).
+
+        Crash/restart pairs arrive as a Poisson process per the whole
+        cluster; a crashed node is never re-crashed before its restart.
+        With ``mean_episode_interval_s > 0`` a second Poisson stream
+        emits RSDS brown-outs/outages and slow-network windows.
+        """
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        node_pool = list(nodes)
+        if node_pool and mean_crash_interval_s > 0:
+            down_until = {node: 0.0 for node in node_pool}
+            t = rng.expovariate(1.0 / mean_crash_interval_s)
+            while t < duration_s:
+                up = [n for n in node_pool if down_until[n] <= t]
+                if up:
+                    node = rng.choice(up)
+                    downtime = max(1.0, rng.expovariate(1.0 / mean_downtime_s))
+                    events.append(FaultEvent(at=t, kind="crash", node=node))
+                    events.append(
+                        FaultEvent(at=t + downtime, kind="restart", node=node)
+                    )
+                    down_until[node] = t + downtime
+                t += rng.expovariate(1.0 / mean_crash_interval_s)
+        if mean_episode_interval_s > 0:
+            t = rng.expovariate(1.0 / mean_episode_interval_s)
+            while t < duration_s:
+                kind = rng.choice(
+                    ["rsds_brownout", "rsds_outage", "slow_network"]
+                )
+                length = max(1.0, rng.expovariate(1.0 / mean_episode_s))
+                scale = 1.0
+                if kind == "rsds_brownout":
+                    scale = brownout_scale
+                elif kind == "slow_network":
+                    scale = slow_network_scale
+                events.append(
+                    FaultEvent(at=t, kind=kind, duration=length, scale=scale)
+                )
+                t += rng.expovariate(1.0 / mean_episode_interval_s)
+        return cls(events)

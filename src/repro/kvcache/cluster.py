@@ -8,7 +8,7 @@ the caller's node run at RAM speed, others pay the remote path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Set
 
 from repro.kvcache.coordinator import Coordinator
 from repro.kvcache.errors import (
@@ -44,6 +44,12 @@ class ClusterStats:
     recoveries: int = 0
     recovered_objects: int = 0
     resizes: int = 0
+    restarts: int = 0
+    backups_purged: int = 0
+    lost_objects: int = 0
+    under_replication_events: int = 0
+    repairs: int = 0
+    repaired_objects: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -71,6 +77,13 @@ class CacheCluster:
         for node_id in node_ids:
             self.coordinator.register(CacheServer(node_id))
         self.stats = ClusterStats()
+        #: Injected fault state (:class:`repro.sim.faults.FaultState`);
+        #: ``None`` keeps the data plane on the zero-cost path.
+        self.faults = None
+        # Keys whose live replica count fell below the configured
+        # factor (down backup at put time, partial recovery, crashed
+        # backup node).  ``repair()`` drains this set.
+        self._under_replicated: Set[str] = set()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -80,6 +93,14 @@ class CacheCluster:
     def _delay(self, model, nbytes: int = 0):
         return self.kernel.timeout(model.sample(self.rng, nbytes))
 
+    def _remote_delay(self, model, nbytes: int = 0):
+        """Delay for an inter-node op; scaled during slow-network faults."""
+        duration = model.sample(self.rng, nbytes)
+        faults = self.faults
+        if faults is not None:
+            duration *= faults.network_latency_scale
+        return self.kernel.timeout(duration)
+
     @property
     def total_capacity(self) -> int:
         return sum(s.capacity for s in self.coordinator.servers.values())
@@ -87,6 +108,25 @@ class CacheCluster:
     @property
     def total_used(self) -> int:
         return sum(s.used_bytes for s in self.coordinator.servers.values())
+
+    @property
+    def under_replicated_keys(self) -> Set[str]:
+        """Keys currently holding fewer live backups than configured."""
+        return set(self._under_replicated)
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Counter snapshot plus availability gauges (obs collector)."""
+        snap = self.stats.snapshot()
+        snap["under_replicated"] = len(self._under_replicated)
+        snap["live_servers"] = len(self.coordinator.live_servers())
+        return snap
+
+    def _mark_under_replicated(self, key: str) -> None:
+        if self.coordinator.replication_factor <= 0:
+            return
+        if key not in self._under_replicated:
+            self._under_replicated.add(key)
+            self.stats.under_replication_events += 1
 
     def contains(self, key: str) -> bool:
         master_id = self.coordinator.master_of(key)
@@ -101,6 +141,16 @@ class CacheCluster:
             return None
         server = self.coordinator.server(master_id)
         return master_id if server.master_has(key) else None
+
+    def _highest_surviving_version(self, key: str) -> int:
+        """Best version knowledge for ``key`` after a master loss:
+        the coordinator's placement record and any live replica copy."""
+        best = self.coordinator.version_of(key)
+        for backup_id in self.coordinator.backups_of(key):
+            copy = self.coordinator.server(backup_id).backup_peek(key)
+            if copy is not None and copy.version > best:
+                best = copy.version
+        return best
 
     # -- data plane ---------------------------------------------------------------
 
@@ -138,6 +188,17 @@ class CacheCluster:
             old = master.master_get(key)
             version = old.version + 1
             master.master_delete(key)
+        elif self.coordinator.holds(key):
+            # The previous master copy died with its node.  Seed the
+            # version past the highest surviving replica / coordinator
+            # record; restarting at 1 would make ``persist_payload``
+            # ordering treat this newer data as stale.
+            version = self._highest_surviving_version(key) + 1
+        if master.backup_has(key):
+            # This server held a backup copy and is becoming the
+            # master: drop the stale disk copy so a later promotion
+            # cannot resurrect it.
+            master.backup_delete(key)
         obj = CacheObject(
             key=key,
             value=value,
@@ -148,8 +209,10 @@ class CacheCluster:
             flags=dict(flags or {}),
         )
         master.master_put(obj)
-        write_model = LOCAL_WRITE if master_id == caller else REMOTE_WRITE
-        yield self._delay(write_model, size)
+        if master_id == caller:
+            yield self._delay(LOCAL_WRITE, size)
+        else:
+            yield self._remote_delay(REMOTE_WRITE, size)
         # Replicate to backups (buffered log writes, issued in parallel:
         # the slowest one bounds the latency).
         backup_ids = self.coordinator.backups_of(key) or set(
@@ -158,6 +221,8 @@ class CacheCluster:
         longest = 0.0
         kept_backups = []
         for backup_id in backup_ids:
+            if backup_id == master_id:
+                continue
             backup = self.coordinator.server(backup_id)
             if not backup.up:
                 continue
@@ -165,8 +230,19 @@ class CacheCluster:
             longest = max(longest, BACKUP_WRITE.sample(self.rng, size))
             kept_backups.append(backup_id)
         if longest:
+            faults = self.faults
+            if faults is not None:
+                longest *= faults.network_latency_scale
             yield longest
-        self.coordinator.record_placement(key, master_id, kept_backups)
+        self.coordinator.record_placement(
+            key, master_id, kept_backups, version=version
+        )
+        # Down backups silently drop out of the placement; track the
+        # key so the repair pass can restore the replication factor.
+        if len(kept_backups) < self.coordinator.replication_factor:
+            self._mark_under_replicated(key)
+        else:
+            self._under_replicated.discard(key)
         self.stats.puts += 1
         span.finish(bytes=size)
         return master_id
@@ -187,8 +263,10 @@ class CacheCluster:
         )
         master = self.coordinator.server(master_id)
         obj = master.master_get(key)
-        read_model = LOCAL_READ if master_id == caller else REMOTE_READ
-        yield self._delay(read_model, obj.size)
+        if master_id == caller:
+            yield self._delay(LOCAL_READ, obj.size)
+        else:
+            yield self._remote_delay(REMOTE_READ, obj.size)
         obj.n_access += 1
         obj.t_access = self.kernel.now
         if master_id == caller:
@@ -217,8 +295,31 @@ class CacheCluster:
     def set_flags(self, key: str, **flags: Any) -> None:
         obj = self.peek(key)
         if obj is None:
-            raise NoSuchKey(key)
+            # The master copy died, but surviving replicas may still be
+            # promoted later: land the update on them (else a persistor
+            # completion between crash and recovery is forgotten, and
+            # the promoted copy re-triggers the write-back).
+            if not self.coordinator.holds(key):
+                raise NoSuchKey(key)
+            version = self._highest_surviving_version(key)
+            updated = False
+            for backup_id in self.coordinator.backups_of(key):
+                copy = self.coordinator.server(backup_id).backup_peek(key)
+                if copy is not None and copy.version == version:
+                    copy.flags.update(flags)
+                    updated = True
+            if not updated:
+                raise NoSuchKey(key)
+            return
         obj.flags.update(flags)
+        # Propagate to live backup copies of the same version: a
+        # post-crash promotion must see current flags, or a cleared
+        # ``dirty`` resurrects and re-triggers the write-back (and a
+        # master-only ``dirty`` set would be lost with the master).
+        for backup_id in self.coordinator.backups_of(key):
+            copy = self.coordinator.server(backup_id).backup_peek(key)
+            if copy is not None and copy.version == obj.version:
+                copy.flags.update(flags)
 
     def delete(self, key: str, caller: str) -> Generator[Any, Any, None]:
         """Remove an object from the cache everywhere (master+backups)."""
@@ -234,6 +335,7 @@ class CacheCluster:
             if backup.up:
                 backup.backup_delete(key)
         self.coordinator.forget(key)
+        self._under_replicated.discard(key)
         model = LOCAL_WRITE if master_id == caller else REMOTE_WRITE
         yield self._delay(model)
         self.stats.deletes += 1
@@ -282,6 +384,11 @@ class CacheCluster:
         if master_id is None:
             raise NoSuchKey(key)
         old_master = self.coordinator.server(master_id)
+        if not old_master.master_has(key):
+            # The master copy is gone (typically its node crashed under
+            # a concurrent shrink loop): surface the regular miss the
+            # callers already handle, never ServerDown.
+            raise NoSuchKey(key)
         obj = old_master.master_get(key)
         candidates = [
             self.coordinator.server(b)
@@ -311,7 +418,7 @@ class CacheCluster:
         promoted.flags = dict(obj.flags)
         old_master.demote(key)
         self.coordinator.record_master_change(key, new_master.server_id)
-        yield self._delay(MIGRATION, obj.size)
+        yield self._remote_delay(MIGRATION, obj.size)
         self.stats.migrations += 1
         self.stats.migrated_bytes += obj.size
         span.finish(target=new_master.server_id)
@@ -320,7 +427,60 @@ class CacheCluster:
     # -- failures -----------------------------------------------------------------
 
     def crash(self, node_id: str) -> None:
+        """Fail-stop a node's cache server (RAM lost, disk survives)."""
         self.coordinator.server(node_id).crash()
+        # Every key the node backed just lost a replica.
+        for key in self.coordinator.keys_backed_by(node_id):
+            self._mark_under_replicated(key)
+
+    def restart(self, node_id: str) -> int:
+        """Bring a crashed server back up; purge stale disk backups.
+
+        While the node was down the coordinator re-placed (or forgot)
+        some of the keys it backed.  Those disk copies are both a
+        disk-space leak and a stale-promotion hazard, so every backup
+        no longer referenced by the coordinator is dropped on restart.
+        Returns the number of purged copies.
+        """
+        server = self.coordinator.server(node_id)
+        server.restart()
+        purged = 0
+        for key in server.backup_keys():
+            if (
+                not self.coordinator.holds(key)
+                or node_id not in self.coordinator.backups_of(key)
+            ):
+                server.backup_delete(key)
+                purged += 1
+        self.stats.restarts += 1
+        self.stats.backups_purged += purged
+        return purged
+
+    def _lose(self, key: str) -> None:
+        """Drop a key whose every copy is gone (RSDS still has it)."""
+        self.coordinator.forget(key)
+        self._under_replicated.discard(key)
+        self.stats.lost_objects += 1
+
+    def _reconcile_flags(self, key: str, obj) -> None:
+        """Reconcile a freshly promoted copy's flags with its peers.
+
+        Flags only transition one way between versions (the persistor
+        clears ``dirty`` after the payload lands in the RSDS), so a
+        clean surviving copy at the same version proves the persist
+        completed and the promoted copy must not re-trigger it.
+        """
+        if not obj.flags.get("dirty", False):
+            return
+        for backup_id in self.coordinator.backups_of(key):
+            copy = self.coordinator.server(backup_id).backup_peek(key)
+            if (
+                copy is not None
+                and copy.version == obj.version
+                and not copy.flags.get("dirty", True)
+            ):
+                obj.flags["dirty"] = False
+                return
 
     def recover(self, node_id: str) -> Generator[Any, Any, int]:
         """Recover the master copies a crashed node held, by promoting
@@ -328,7 +488,9 @@ class CacheCluster:
 
         Returns the number of objects recovered; objects whose every
         backup is also down are lost from the cache (they still exist in
-        the RSDS or are re-created by retried invocations).
+        the RSDS or are re-created by retried invocations).  The loop
+        tolerates further crashes while it runs: every candidate set is
+        re-validated after a simulated delay.
         """
         recovered = 0
         for key in self.coordinator.keys_mastered_by(node_id):
@@ -340,11 +502,28 @@ class CacheCluster:
             obj_size = candidates[0].backup_get(key).size if candidates else 0
             candidates = [s for s in candidates if s.can_fit(obj_size)]
             if not candidates:
-                self.coordinator.forget(key)
+                self._lose(key)
                 continue
-            new_master = max(candidates, key=lambda s: s.free_bytes)
             yield self._delay(DISK_READ, obj_size)
+            # Another node may have crashed while the disk read was in
+            # flight: re-validate before touching any copy.
+            candidates = [
+                s
+                for s in candidates
+                if s.up and s.backup_has(key) and s.can_fit(obj_size)
+            ]
+            if not candidates:
+                self._lose(key)
+                continue
+            # Promote the highest surviving version (a backup that was
+            # down during an update trails its peers), breaking ties
+            # toward the freest server.
+            new_master = max(
+                candidates,
+                key=lambda s: (s.backup_get(key).version, s.free_bytes),
+            )
             obj = new_master.promote(key)
+            self._reconcile_flags(key, obj)
             # The crashed node holds no copy any more: rebuild the backup
             # set from the surviving replicas and re-replicate up to the
             # configured factor.
@@ -365,14 +544,70 @@ class CacheCluster:
                     if backup_id in surviving or backup_id == node_id:
                         continue
                     backup = self.coordinator.server(backup_id)
-                    backup.backup_put(obj.copy())
-                    yield self._delay(BACKUP_WRITE, obj.size)
+                    if not backup.up:  # crashed since choose_backups
+                        continue
+                    try:
+                        backup.backup_put(obj.copy())
+                    except CapacityExceeded:
+                        continue
+                    yield self._remote_delay(BACKUP_WRITE, obj.size)
                     surviving.add(backup_id)
                     missing -= 1
             self.coordinator.record_placement(
-                key, new_master.server_id, sorted(surviving)
+                key, new_master.server_id, sorted(surviving), version=obj.version
             )
+            if missing > 0:
+                self._mark_under_replicated(key)
+            else:
+                self._under_replicated.discard(key)
             recovered += 1
         self.stats.recoveries += 1
         self.stats.recovered_objects += recovered
         return recovered
+
+    def repair(self) -> Generator[Any, Any, int]:
+        """Re-replicate under-replicated keys up to the configured
+        factor (run after a crashed node rejoins, or opportunistically).
+        Returns the number of keys brought back to full replication.
+        """
+        span = self.kernel.tracer.start("kvcache.repair")
+        repaired = 0
+        for key in sorted(self._under_replicated):
+            master_id = self.location_of(key)
+            if master_id is None:
+                # The master copy is gone too: nothing to replicate
+                # from; a recovery pass or a re-put handles the key.
+                self._under_replicated.discard(key)
+                continue
+            obj = self.coordinator.server(master_id).master_get(key)
+            current = {
+                b
+                for b in self.coordinator.backups_of(key)
+                if b != master_id and self.coordinator.server(b).backup_has(key)
+            }
+            missing = self.coordinator.replication_factor - len(current)
+            for backup_id in self.coordinator.choose_backups(key, master_id):
+                if missing <= 0:
+                    break
+                if backup_id in current:
+                    continue
+                backup = self.coordinator.server(backup_id)
+                if not backup.up:
+                    continue
+                try:
+                    backup.backup_put(obj.copy())
+                except CapacityExceeded:
+                    continue
+                yield self._remote_delay(BACKUP_WRITE, obj.size)
+                current.add(backup_id)
+                missing -= 1
+            self.coordinator.record_placement(
+                key, master_id, sorted(current), version=obj.version
+            )
+            if missing <= 0:
+                self._under_replicated.discard(key)
+                repaired += 1
+        self.stats.repairs += 1
+        self.stats.repaired_objects += repaired
+        span.finish(repaired=repaired)
+        return repaired

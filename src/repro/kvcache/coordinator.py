@@ -23,6 +23,10 @@ class Coordinator:
         self.servers: Dict[str, CacheServer] = {}
         self._master_of: Dict[str, str] = {}
         self._backups_of: Dict[str, Set[str]] = {}
+        # Last version recorded for each key.  Survives master loss, so
+        # a re-put after a crash can seed its version past the copies
+        # that died with the node (crash-consistency fix).
+        self._version_of: Dict[str, int] = {}
 
     # -- membership -----------------------------------------------------------
 
@@ -54,6 +58,13 @@ class Coordinator:
     def keys_mastered_by(self, server_id: str) -> List[str]:
         return [k for k, sid in self._master_of.items() if sid == server_id]
 
+    def version_of(self, key: str) -> int:
+        """Last version recorded for ``key`` (0 when unknown)."""
+        return self._version_of.get(key, 0)
+
+    def keys_backed_by(self, server_id: str) -> List[str]:
+        return [k for k, ids in self._backups_of.items() if server_id in ids]
+
     # -- placement decisions -------------------------------------------------------
 
     def choose_master(
@@ -81,10 +92,16 @@ class Coordinator:
     # -- placement bookkeeping ------------------------------------------------------
 
     def record_placement(
-        self, key: str, master_id: str, backup_ids: List[str]
+        self,
+        key: str,
+        master_id: str,
+        backup_ids: List[str],
+        version: Optional[int] = None,
     ) -> None:
         self._master_of[key] = master_id
         self._backups_of[key] = set(backup_ids)
+        if version is not None:
+            self._version_of[key] = version
 
     def record_master_change(self, key: str, new_master: str) -> None:
         if key not in self._master_of:
@@ -98,3 +115,4 @@ class Coordinator:
     def forget(self, key: str) -> None:
         self._master_of.pop(key, None)
         self._backups_of.pop(key, None)
+        self._version_of.pop(key, None)

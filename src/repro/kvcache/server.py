@@ -147,6 +147,12 @@ class CacheServer:
     def backup_has(self, key: str) -> bool:
         return self.up and key in self._backup
 
+    def backup_peek(self, key: str) -> Optional[CacheObject]:
+        """Control-plane read of a backup copy (None when down/absent)."""
+        if not self.up:
+            return None
+        return self._backup.get(key)
+
     def backup_delete(self, key: str) -> Optional[CacheObject]:
         self._check_up()
         return self._backup.pop(key, None)

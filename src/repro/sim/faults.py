@@ -1,0 +1,109 @@
+"""Injectable fault state consulted by instrumented components.
+
+A :class:`FaultState` is a small shared-mutable record that the fault
+injector (:mod:`repro.faults`) flips while episodes are active and that
+the data-plane components (the RSDS :class:`~repro.storage.object_store.
+ObjectStore`, the :class:`~repro.kvcache.cluster.CacheCluster`, the
+rclib proxy) consult on their hot paths.
+
+The contract is *zero cost when disabled*: components keep a ``faults``
+attribute that is ``None`` by default, so the undisturbed path pays one
+attribute load and an ``is None`` test — no generator hop, no extra
+event, no RNG draw.  Episodes may overlap (two brown-outs, a brown-out
+inside a slow-network window); each knob therefore nests with an entry
+counter and multiplicative scales compose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class FaultState:
+    """Mutable fault knobs shared between the injector and components.
+
+    * ``rsds_down`` — the RSDS refuses every operation (raises
+      :class:`~repro.storage.errors.StoreUnavailable`).
+    * ``rsds_latency_scale`` — multiplier on every RSDS op latency
+      (brown-out; 1.0 = healthy).
+    * ``network_latency_scale`` — multiplier on inter-node cache ops
+      (remote get/put, backup replication, migration hand-off).
+    * ``bypass_cache`` — degraded mode: rclib skips the cache entirely
+      and serves reads/writes straight from the RSDS.
+    """
+
+    __slots__ = (
+        "rsds_down",
+        "rsds_latency_scale",
+        "network_latency_scale",
+        "bypass_cache",
+        "_outage_depth",
+        "_bypass_depth",
+    )
+
+    def __init__(self):
+        self.rsds_down = False
+        self.rsds_latency_scale = 1.0
+        self.network_latency_scale = 1.0
+        self.bypass_cache = False
+        self._outage_depth = 0
+        self._bypass_depth = 0
+
+    # -- episode transitions (nesting-safe) --------------------------------
+
+    def enter_outage(self) -> None:
+        self._outage_depth += 1
+        self.rsds_down = True
+
+    def exit_outage(self) -> None:
+        self._outage_depth = max(0, self._outage_depth - 1)
+        self.rsds_down = self._outage_depth > 0
+
+    def enter_brownout(self, scale: float) -> None:
+        self.rsds_latency_scale *= scale
+
+    def exit_brownout(self, scale: float) -> None:
+        if scale:
+            self.rsds_latency_scale /= scale
+
+    def enter_slow_network(self, scale: float) -> None:
+        self.network_latency_scale *= scale
+
+    def exit_slow_network(self, scale: float) -> None:
+        if scale:
+            self.network_latency_scale /= scale
+
+    def enter_bypass(self) -> None:
+        self._bypass_depth += 1
+        self.bypass_cache = True
+
+    def exit_bypass(self) -> None:
+        self._bypass_depth = max(0, self._bypass_depth - 1)
+        self.bypass_cache = self._bypass_depth > 0
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def any_active(self) -> bool:
+        return (
+            self.rsds_down
+            or self.bypass_cache
+            or self.rsds_latency_scale != 1.0
+            or self.network_latency_scale != 1.0
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "rsds_down": int(self.rsds_down),
+            "rsds_latency_scale": self.rsds_latency_scale,
+            "network_latency_scale": self.network_latency_scale,
+            "bypass_cache": int(self.bypass_cache),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultState down={self.rsds_down} "
+            f"rsds_x{self.rsds_latency_scale:g} "
+            f"net_x{self.network_latency_scale:g} "
+            f"bypass={self.bypass_cache}>"
+        )

@@ -15,3 +15,13 @@ class NoSuchObject(StorageError):
 
 class BucketExists(StorageError):
     """Attempted to create a bucket that already exists."""
+
+
+class StoreUnavailable(StorageError):
+    """Transient failure: the store is down or timing out.
+
+    Raised while an injected RSDS outage episode is active.  Callers on
+    the write-back path retry with backoff (the persistor); callers on
+    the synchronous path degrade (rclib buffers in the cache and
+    persists later) or surface the failure to the invocation.
+    """

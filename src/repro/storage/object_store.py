@@ -19,7 +19,12 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Resource
-from repro.storage.errors import BucketExists, NoSuchBucket, NoSuchObject
+from repro.storage.errors import (
+    BucketExists,
+    NoSuchBucket,
+    NoSuchObject,
+    StoreUnavailable,
+)
 from repro.storage.latency_profiles import LatencyProfile, SWIFT_PROFILE
 from repro.storage.meta import ObjectMeta, StoredObject
 
@@ -40,6 +45,7 @@ class StoreStats:
     bytes_written: int = 0
     shadow_puts: int = 0
     hook_blocks: int = 0
+    unavailable_errors: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -69,6 +75,9 @@ class ObjectStore:
         self._slots = Resource(kernel, concurrency)
         self._read_hooks: List[Webhook] = []
         self._write_hooks: List[Webhook] = []
+        #: Injected fault state (:class:`repro.sim.faults.FaultState`);
+        #: ``None`` keeps the data plane on the zero-cost path.
+        self.faults = None
 
     # -- webhook registration ---------------------------------------------
 
@@ -107,7 +116,18 @@ class ObjectStore:
     # -- data plane ---------------------------------------------------------
 
     def _delay(self, model, nbytes: int = 0):
-        return self.kernel.timeout(model.sample(self.rng, nbytes))
+        duration = model.sample(self.rng, nbytes)
+        faults = self.faults
+        if faults is not None:
+            duration *= faults.rsds_latency_scale
+        return self.kernel.timeout(duration)
+
+    def _check_available(self, op: str) -> None:
+        """Raise :class:`StoreUnavailable` during an injected outage."""
+        faults = self.faults
+        if faults is not None and faults.rsds_down:
+            self.stats.unavailable_errors += 1
+            raise StoreUnavailable(f"rsds outage: {op}")
 
     def get(
         self, bucket: str, name: str, internal: bool = False
@@ -116,6 +136,7 @@ class ObjectStore:
         span = self.kernel.tracer.start("rsds.get", internal=internal)
         yield self._slots.acquire()
         try:
+            self._check_available("get")
             obj = self._object(bucket, name)  # fail before paying latency
             if not internal:
                 for hook in self._read_hooks:
@@ -153,6 +174,7 @@ class ObjectStore:
         )
         yield self._slots.acquire()
         try:
+            self._check_available("put")
             bkt = self._bucket(bucket)
             existing = bkt.objects.get(name)
             if not internal and existing is not None:
@@ -204,6 +226,7 @@ class ObjectStore:
         span = self.kernel.tracer.start("rsds.persist")
         yield self._slots.acquire()
         try:
+            self._check_available("persist")
             obj = self._object(bucket, name)
             if version < obj.meta.version:
                 return False
@@ -223,6 +246,7 @@ class ObjectStore:
         span = self.kernel.tracer.start("rsds.delete", internal=internal)
         yield self._slots.acquire()
         try:
+            self._check_available("delete")
             obj = self._object(bucket, name)
             if not internal:
                 for hook in self._write_hooks:

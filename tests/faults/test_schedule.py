@@ -1,0 +1,113 @@
+"""Fault-schedule parsing, validation and stochastic generation."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultEvent, FaultSchedule, ScheduleError
+
+
+def test_events_sorted_by_time():
+    schedule = FaultSchedule(
+        [
+            FaultEvent(at=100.0, kind="restart", node="w1"),
+            FaultEvent(at=10.0, kind="crash", node="w1"),
+        ]
+    )
+    assert [e.kind for e in schedule] == ["crash", "restart"]
+    assert schedule.duration == 100.0
+    assert schedule.nodes() == ["w1"]
+
+
+def test_episode_end_counts_toward_duration():
+    schedule = FaultSchedule(
+        [FaultEvent(at=50.0, kind="rsds_outage", duration=30.0)]
+    )
+    assert schedule.duration == 80.0
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"at": 1.0, "kind": "nonsense"},
+        {"at": -1.0, "kind": "crash", "node": "w0"},
+        {"at": 1.0, "kind": "crash"},  # node events need a node
+        {"at": 1.0, "kind": "rsds_outage"},  # episodes need duration
+        {"at": 1.0, "kind": "rsds_brownout", "duration": 5.0, "scale": 0.0},
+        {"at": 1.0, "kind": "crash", "node": "w0", "bogus": 1},
+    ],
+)
+def test_invalid_events_rejected(payload):
+    with pytest.raises(ScheduleError):
+        FaultEvent.from_dict(payload)
+
+
+def test_dict_round_trip():
+    schedule = FaultSchedule(
+        [
+            FaultEvent(at=5.0, kind="crash", node="w2"),
+            FaultEvent(at=9.0, kind="slow_network", duration=4.0, scale=3.0),
+        ]
+    )
+    clone = FaultSchedule.from_dict(schedule.to_dict())
+    assert clone.to_dict() == schedule.to_dict()
+
+
+def test_json_file_round_trip(tmp_path):
+    path = tmp_path / "sched.json"
+    schedule = FaultSchedule(
+        [
+            FaultEvent(at=1.0, kind="crash", node="w0"),
+            FaultEvent(at=2.0, kind="rsds_brownout", duration=1.0, scale=2.0),
+        ]
+    )
+    schedule.save(str(path))
+    loaded = FaultSchedule.load(str(path))
+    assert loaded.to_dict() == schedule.to_dict()
+    # The file itself is the documented format.
+    payload = json.loads(path.read_text())
+    assert payload["events"][0]["kind"] == "crash"
+
+
+def test_from_dict_requires_events_key():
+    with pytest.raises(ScheduleError):
+        FaultSchedule.from_dict({"things": []})
+
+
+def test_random_schedule_is_deterministic():
+    a = FaultSchedule.random(seed=7, duration_s=600.0, nodes=["w0", "w1"])
+    b = FaultSchedule.random(seed=7, duration_s=600.0, nodes=["w0", "w1"])
+    assert a.to_dict() == b.to_dict()
+    c = FaultSchedule.random(seed=8, duration_s=600.0, nodes=["w0", "w1"])
+    assert a.to_dict() != c.to_dict()
+
+
+def test_random_schedule_never_crashes_a_down_node():
+    schedule = FaultSchedule.random(
+        seed=3,
+        duration_s=3000.0,
+        nodes=["w0", "w1"],
+        mean_crash_interval_s=40.0,
+        mean_downtime_s=200.0,
+    )
+    down = set()
+    for event in schedule:
+        if event.kind == "crash":
+            assert event.node not in down
+            down.add(event.node)
+        elif event.kind == "restart":
+            assert event.node in down
+            down.discard(event.node)
+
+
+def test_random_schedule_episodes():
+    schedule = FaultSchedule.random(
+        seed=5,
+        duration_s=2000.0,
+        nodes=[],
+        mean_episode_interval_s=100.0,
+    )
+    kinds = {event.kind for event in schedule}
+    assert kinds  # episodes were generated
+    for event in schedule:
+        assert event.duration > 0
