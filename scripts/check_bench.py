@@ -7,6 +7,13 @@ JSON through the :mod:`repro.obs` layer (uploaded as a CI artifact),
 and fails when any headline latency regresses more than the tolerance
 over the checked-in baseline (``scripts/bench_baseline.json``).
 
+It also runs the ML inference microbenchmark and fails if the compiled
+(code-generated) predict path is ever slower than the recursive tree
+walk it replaced — wall-clock rates are too machine-dependent for an
+absolute bar in CI, but the *relative* claim "compiled is the fast
+path" must hold everywhere.  The measured rates ride along in the
+metrics artifact for trend tracking.
+
 The simulation is fully seeded, so on an unchanged tree the measured
 values match the baseline exactly; the 25% tolerance only absorbs
 intentional small model/latency adjustments.  Regenerate the baseline
@@ -25,11 +32,14 @@ sys.path.insert(
 )
 
 from repro.bench.fig7 import run_fig7_single  # noqa: E402
+from repro.bench.perfbench import bench_ml  # noqa: E402
 from repro.obs import export_json, MetricsRegistry  # noqa: E402
 from repro.sim.latency import KB  # noqa: E402
 from repro.workloads.functions import FIGURE7_FUNCTIONS  # noqa: E402
 
 TOLERANCE = 0.25
+#: The compiled path must at minimum not lose to the recursive walk.
+ML_MIN_SPEEDUP = 1.0
 BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "bench_baseline.json"
 )
@@ -50,7 +60,7 @@ def measure() -> dict:
     }
 
 
-def export_metrics(headlines: dict, out: str) -> None:
+def export_metrics(headlines: dict, ml: dict, out: str) -> None:
     registry = MetricsRegistry()
     gauge = registry.gauge(
         "bench_total_s", help="Figure 7 single-stage headline latency (s)"
@@ -59,6 +69,12 @@ def export_metrics(headlines: dict, out: str) -> None:
         workload, size, config = key.split("/")
         gauge.set(total_s, workload=workload, input_size=size, config=config)
     registry.register_collector("headlines", lambda: dict(headlines))
+    ml_gauge = registry.gauge(
+        "bench_ml", help="J48 train/predict microbenchmark rates"
+    )
+    for metric, value in ml.items():
+        ml_gauge.set(float(value), metric=metric)
+    registry.register_collector("ml", lambda: dict(ml))
     export_json(
         out,
         registry=registry,
@@ -83,7 +99,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     headlines = measure()
-    export_metrics(headlines, args.out)
+    ml = bench_ml(n_rows=800)
+    export_metrics(headlines, ml, args.out)
     print(f"[bench metrics written to {args.out}]")
 
     if args.write_baseline:
@@ -103,6 +120,19 @@ def main(argv=None) -> int:
         baseline = json.load(f)
 
     failures = []
+    if ml["ml_predict_speedup"] < ML_MIN_SPEEDUP:
+        failures.append(
+            "ml_predict: compiled path slower than recursive walk "
+            f"(speedup {ml['ml_predict_speedup']:.2f}x < "
+            f"{ML_MIN_SPEEDUP:.1f}x; "
+            f"{ml['ml_predict_rows_per_sec']:,.0f} vs "
+            f"{ml['recursive_rows_per_sec']:,.0f} rows/s)"
+        )
+    else:
+        print(
+            f"ml gate OK: compiled predict {ml['ml_predict_speedup']:.2f}x "
+            f"the recursive walk ({ml['ml_predict_rows_per_sec']:,.0f} rows/s)"
+        )
     for key, base in sorted(baseline.items()):
         measured = headlines.get(key)
         if measured is None:

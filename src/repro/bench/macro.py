@@ -153,6 +153,46 @@ def run_macro(
     return result
 
 
+def prewarm_macro_models(
+    profile: TenantProfile,
+    tenants_per_workload: int = 1,
+    nodes: int = 4,
+    node_mb: float = 16384.0,
+    seed: int = 0,
+) -> bytes:
+    """Run the macro pretraining once in-process and return the
+    warm-model cache blob for runner initializers.
+
+    A sweep of N macro cells that share (workloads, seed, config) pays
+    the pretraining cost once in the parent instead of once per cell:
+    workers preloaded with the returned blob hit the cache for every
+    tenant and skip the feeding loop entirely.  Pretraining does not
+    depend on the tenant *profile* (booked memory is irrelevant to the
+    synthesized completions), so one prewarmed profile covers them all.
+    """
+    from repro.bench import model_cache
+
+    if model_cache.enabled():
+        deployment = build_ofc_env(nodes=nodes, node_mb=node_mb, seed=seed)
+        injector = FaaSLoad(
+            deployment.kernel,
+            deployment.platform,
+            deployment.store,
+            rng=np.random.default_rng(seed),
+        )
+        injector.prepare(_tenant_specs(profile, tenants_per_workload))
+        for runtime in injector.tenants:
+            if runtime.model is not None:
+                pretrain_function(
+                    deployment,
+                    runtime.model,
+                    runtime.descriptors,
+                    tenant=runtime.spec.tenant_id,
+                    seed=seed,
+                )
+    return model_cache.export_blob()
+
+
 def _macro_cell(cell) -> MacroResult:
     """One macro run as a runner cell; module-level for pickling."""
     system, profile, duration_s, tenants_per_workload, node_mb, seed = cell
@@ -188,7 +228,17 @@ def run_macro_comparison(
         (system, profile, duration_s, tenants_per_workload, node_mb, seed)
         for system in ("ofc", "swift")
     ]
-    ofc, swift = run_grid(_macro_cell, cells, workers=workers)
+    # Ship whatever warm models the parent already holds; the OFC cell
+    # then skips any pretraining a previous run (or prewarm) covered.
+    from repro.bench.model_cache import export_blob, preload_blob
+
+    ofc, swift = run_grid(
+        _macro_cell,
+        cells,
+        workers=workers,
+        initializer=preload_blob,
+        initargs=(export_blob(),),
+    )
     improvements = {}
     for workload in MACRO_WORKLOADS:
         base = swift.total_exec_s.get(workload, 0.0)

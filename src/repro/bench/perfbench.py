@@ -8,10 +8,15 @@ speed is tracked across PRs the same way the simulated results are:
   headline number is the *sleep chain* (a process doing back-to-back
   ``yield delay`` sleeps), the dominant pattern in the real
   simulations; chain/churn/event/immediate cover the other hot paths.
+* **ml** — the per-function model layer: ``ml_train`` (J48 fits/s on a
+  representative curated sample set, presorted + incremental path) and
+  ``ml_predict`` (rows/s through the compiled tree walk, with its
+  speedup over the recursive reference walk).
 * **macro** — simulated seconds per wall second on the Figure 9/10
   macro workload (kernel + models + caching, the end-to-end rate).
 * **sweep** — wall seconds for a small Figure 8 sweep, serial vs the
-  parallel runner's default fan-out.
+  parallel runner's default fan-out, plus a trainer-heavy macro cell
+  timed cold (empty warm-model cache) and warm (cache hit).
 
 Numbers are wall-clock and machine-dependent; the file records a
 trajectory on whatever machine CI runs, not a portable benchmark.
@@ -144,6 +149,69 @@ def bench_kernel(n: int = 200_000, repeats: int = 3) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# ML microbenchmarks (the per-invocation / per-retrain layer).
+
+
+def _ml_dataset(n_rows: int, seed: int = 7):
+    """A representative curated sample set: mixed numeric and nominal
+    features, weighted rows (the §5.3.3 shape the trainer fits)."""
+    import numpy as np
+
+    from repro.ml.dataset import Dataset
+
+    rng = np.random.default_rng(seed)
+    codecs = ("h264", "vp9", "av1", "mjpeg")
+    rows = []
+    labels = []
+    weights = []
+    for _ in range(n_rows):
+        size = float(rng.integers(1, 4096))
+        sigma = float(rng.uniform(0.0, 8.0))
+        rows.append(
+            {
+                "in_size": size * 1024.0,
+                "pixels": size * 210.0,
+                "arg_sigma": sigma,
+                "codec": codecs[int(rng.integers(0, len(codecs)))],
+                "arg_flag": bool(rng.integers(0, 2)),
+            }
+        )
+        labels.append(int(min(127, (size * (1.0 + sigma / 4.0)) // 512)))
+        weights.append(3.0 if rng.random() < 0.2 else 1.0)
+    return Dataset(rows, labels, weights=weights)
+
+
+def bench_ml(n_rows: int = 2000, repeats: int = 3) -> Dict[str, float]:
+    """J48 train/predict rates plus the compiled-walk speedup."""
+    from repro.ml.tree import J48Classifier
+
+    dataset = _ml_dataset(n_rows)
+    train_s = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        classifier = J48Classifier().fit(dataset)
+        train_s = min(train_s, perf_counter() - start)
+    rows = dataset.rows
+    predict_s = float("inf")
+    recursive_s = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        classifier.predict(rows)
+        predict_s = min(predict_s, perf_counter() - start)
+        start = perf_counter()
+        classifier.predict_recursive(rows)
+        recursive_s = min(recursive_s, perf_counter() - start)
+    return {
+        "rows": n_rows,
+        "tree_nodes": classifier.n_nodes,
+        "train_rows_per_sec": n_rows / train_s,
+        "ml_predict_rows_per_sec": n_rows / predict_s,
+        "recursive_rows_per_sec": n_rows / recursive_s,
+        "ml_predict_speedup": predict_s and recursive_s / predict_s,
+    }
+
+
+# ---------------------------------------------------------------------------
 # End-to-end rates.
 
 
@@ -162,11 +230,25 @@ def bench_macro(duration_s: float = 300.0, seed: int = 0) -> Dict[str, float]:
     }
 
 
-def bench_sweep(workers: Optional[int] = None, seed: int = 0) -> Dict:
-    """Wall seconds for a small Figure 8 sweep, serial vs parallel."""
+def bench_sweep(
+    workers: Optional[int] = None,
+    seed: int = 0,
+    macro_cell_s: float = 60.0,
+) -> Dict:
+    """Wall seconds for a small Figure 8 sweep, serial vs parallel,
+    plus a short (pretraining-dominated) macro cell cold vs warm.
+
+    With ``workers == 1`` there is no parallel run to time, so
+    ``parallel_wall_s`` is ``None`` — the runner would execute the
+    exact same serial pass, and recording the serial time twice made
+    the entry look like a measured (and disappointing) fan-out.
+    """
+    from repro.bench import model_cache
     from repro.bench.fig8 import run_fig8
+    from repro.bench.macro import run_macro
     from repro.bench.runner import default_workers
     from repro.sim.latency import KB
+    from repro.workloads.faasload import TenantProfile
 
     sizes = (16 * KB, 1024 * KB)
     start = perf_counter()
@@ -174,16 +256,37 @@ def bench_sweep(workers: Optional[int] = None, seed: int = 0) -> Dict:
     serial_s = perf_counter() - start
     if workers is None:
         workers = default_workers()
-    parallel_s = serial_s
+    parallel_s = None
     if workers > 1:
         start = perf_counter()
         run_fig8(sizes=sizes, seed=seed, workers=workers)
         parallel_s = perf_counter() - start
+
+    # Warm-model cache: one trainer-heavy macro cell (short duration,
+    # so per-cell startup dominates), cold then warm.  The second run
+    # hits the cache populated by the first and skips pretraining.
+    model_cache.clear()
+    start = perf_counter()
+    cold = run_macro("ofc", TenantProfile.NORMAL, duration_s=macro_cell_s, seed=seed)
+    cold_s = perf_counter() - start
+    start = perf_counter()
+    warm = run_macro("ofc", TenantProfile.NORMAL, duration_s=macro_cell_s, seed=seed)
+    warm_s = perf_counter() - start
+    cache_stats = model_cache.stats()
+    model_cache.clear()
+    assert warm.hit_ratio == cold.hit_ratio, "warm cell diverged from cold"
     return {
         "cells": len(sizes) * 4,
         "workers": workers,
         "serial_wall_s": serial_s,
         "parallel_wall_s": parallel_s,
+        "warm_model_cell": {
+            "macro_cell_s": macro_cell_s,
+            "cold_wall_s": cold_s,
+            "warm_wall_s": warm_s,
+            "startup_speedup": cold_s / warm_s if warm_s > 0 else None,
+            "cache_hits": cache_stats["hits"],
+        },
     }
 
 
@@ -212,15 +315,19 @@ def run_perf(
     """Measure all layers and return one trajectory entry."""
     n = 50_000 if quick else 200_000
     kernel = bench_kernel(n=n, repeats=2 if quick else 3)
+    ml = bench_ml(n_rows=800 if quick else 2000, repeats=2 if quick else 3)
     macro = bench_macro(duration_s=120.0 if quick else 300.0)
-    sweep = bench_sweep(workers=workers)
+    sweep = bench_sweep(
+        workers=workers, macro_cell_s=30.0 if quick else 60.0
+    )
     entry = {
         "schema": SCHEMA_VERSION,
         "recorded_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
         "commit": _git_commit(),
-        "label": label,
+        # A null label made quick CI rows indistinguishable; default it.
+        "label": label if label is not None else ("quick" if quick else "full"),
         "quick": quick,
         "machine": {
             "python": platform.python_version(),
@@ -230,6 +337,7 @@ def run_perf(
         # real simulations since all model code sleeps via bare delays.
         "kernel_events_per_sec": kernel["sleep"],
         "kernel_patterns": kernel,
+        "ml": ml,
         "macro": macro,
         "sweep": sweep,
     }
@@ -265,6 +373,19 @@ def format_entry(entry: Dict) -> str:
     for name, value in entry["kernel_patterns"].items():
         if name != "sleep":
             rows.append((f"kernel events/s ({name})", f"{value:,.0f}"))
+    ml = entry.get("ml")
+    if ml:
+        rows.append(
+            ("ml_train rows/s", f"{ml['train_rows_per_sec']:,.0f}")
+        )
+        rows.append(
+            ("ml_predict rows/s (compiled)",
+             f"{ml['ml_predict_rows_per_sec']:,.0f}")
+        )
+        rows.append(
+            ("ml_predict speedup vs recursive",
+             f"{ml['ml_predict_speedup']:.2f}x")
+        )
     macro = entry["macro"]
     rows.append(
         ("macro sim-s per wall-s", f"{macro['sim_s_per_wall_s']:,.1f}")
@@ -274,10 +395,22 @@ def format_entry(entry: Dict) -> str:
         (f"fig8 sweep serial ({sweep['cells']} cells)",
          f"{sweep['serial_wall_s']:.2f} s"),
     )
-    rows.append(
-        (f"fig8 sweep x{sweep['workers']} workers",
-         f"{sweep['parallel_wall_s']:.2f} s"),
-    )
+    if sweep.get("parallel_wall_s") is not None:
+        rows.append(
+            (f"fig8 sweep x{sweep['workers']} workers",
+             f"{sweep['parallel_wall_s']:.2f} s"),
+        )
+    warm = sweep.get("warm_model_cell")
+    if warm:
+        rows.append(
+            (f"macro cell ({warm['macro_cell_s']:.0f} s sim) cold",
+             f"{warm['cold_wall_s']:.2f} s"),
+        )
+        rows.append(
+            ("macro cell warm-model cache",
+             f"{warm['warm_wall_s']:.2f} s "
+             f"({warm['startup_speedup']:.2f}x)"),
+        )
     return format_table(
         ["metric", "value"],
         rows,

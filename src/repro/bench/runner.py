@@ -81,12 +81,19 @@ def run_cells(
     fn: Callable[[Any], Any],
     cells: Sequence[Any],
     workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[CellOutcome]:
     """Run ``fn(cell)`` for every cell; results come back in cell order.
 
     ``fn`` and each cell must be picklable (module-level function,
     plain-data payload).  ``workers=None`` uses one worker per core;
     ``workers=1`` runs serially in-process (no executor, no overhead).
+
+    ``initializer``/``initargs`` run once per worker process before any
+    cell (the hook the warm-model cache uses to preload pretrained
+    models — see :mod:`repro.bench.model_cache`).  The serial path
+    calls it once in-process so ``workers=1`` stays equivalent.
     """
     if workers is None:
         workers = default_workers()
@@ -97,8 +104,14 @@ def run_cells(
     tracing = tracing_enabled()
     payloads = [(fn, cell, tracing) for cell in cells]
     if workers == 1 or len(cells) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [_run_cell(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as ex:
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(cells)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as ex:
         return list(ex.map(_run_cell, payloads))
 
 
@@ -106,9 +119,16 @@ def run_grid(
     fn: Callable[[Any], Any],
     cells: Sequence[Any],
     workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[Any]:
     """Like :func:`run_cells` but returns just the raw results."""
-    return [outcome.result for outcome in run_cells(fn, cells, workers)]
+    return [
+        outcome.result
+        for outcome in run_cells(
+            fn, cells, workers, initializer=initializer, initargs=initargs
+        )
+    ]
 
 
 def merge_obs(outcomes: Sequence[CellOutcome]) -> Dict[str, Any]:

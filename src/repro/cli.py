@@ -318,10 +318,10 @@ def _report(quick: bool, out: str) -> str:
     return run_report(quick=quick, out=out)
 
 
-def _perf(quick: bool, workers, out: str) -> str:
+def _perf(quick: bool, workers, out: str, label=None) -> str:
     from repro.bench.perfbench import format_entry, record, run_perf
 
-    entry = run_perf(quick=quick, workers=workers)
+    entry = run_perf(quick=quick, workers=workers, label=label)
     record(entry, path=out)
     return format_entry(entry) + f"\n[entry appended to {out}]"
 
@@ -390,6 +390,19 @@ def main(argv=None) -> int:
         help="trajectory file the 'perf' command appends to",
     )
     parser.add_argument(
+        "--label",
+        metavar="TEXT",
+        default=None,
+        help="label recorded with the 'perf' trajectory entry "
+        "(default: 'quick' or 'full')",
+    )
+    parser.add_argument(
+        "--no-model-cache",
+        action="store_true",
+        help="disable the shared warm-model cache (cold pretraining "
+        "in every sweep cell)",
+    )
+    parser.add_argument(
         "--faults",
         metavar="PATH",
         default=None,
@@ -414,6 +427,10 @@ def main(argv=None) -> int:
     names = (
         list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     )
+    if args.no_model_cache:
+        from repro.bench import model_cache
+
+        model_cache.set_enabled(False)
     tracing = args.trace is not None
     if tracing:
         from repro.obs import enable_tracing, reset_tracing
@@ -430,7 +447,14 @@ def main(argv=None) -> int:
                 if name == "report":
                     print(_report(args.quick, args.out))
                 elif name == "perf":
-                    print(_perf(args.quick, args.workers, args.bench_out))
+                    print(
+                        _perf(
+                            args.quick,
+                            args.workers,
+                            args.bench_out,
+                            label=args.label,
+                        )
+                    )
                 elif name == "run":
                     print(_run_schedule(args.quick, args.faults, args.duration))
                 else:

@@ -57,8 +57,7 @@ class Predictor:
         if models.mature and models.memory_model is not None:
             raw = models.memory_model.predict_one(features)
             predicted_interval = int(raw)
-            bumped = intervals.bump(raw, self.config.bump_intervals)
-            memory_mb = intervals.upper_bound_mb(bumped)
+            memory_mb = intervals.allocation_mb(raw, self.config.bump_intervals)
             self.mature_predictions += 1
         should_cache = True
         if (

@@ -47,19 +47,64 @@ class FunctionModels:
     samples: List[TrainingSample] = field(default_factory=list)
     invocations_seen: int = 0
     retrains: int = 0
+    #: Retrains skipped because curation added nothing since the last
+    #: fit (a J48 refit on an identical sample set is a no-op).
+    retrains_skipped: int = 0
+    #: Fingerprint of the curated sample set: bumped on every append.
+    #: Curation is append-only, so a version match means the set is
+    #: unchanged since it was last seen.
+    samples_version: int = 0
+    #: ``samples_version`` the current models were fitted on.
+    fitted_version: int = -1
+
+    def __post_init__(self) -> None:
+        self._memory_cache: Optional[tuple] = None
+        self._benefit_cache: Optional[tuple] = None
+
+    def __getstate__(self):
+        # Dataset caches are derived state; keep serialized models
+        # (warm-model cache entries) lean.
+        state = self.__dict__.copy()
+        state["_memory_cache"] = None
+        state["_benefit_cache"] = None
+        return state
+
+    def add_sample(self, sample: TrainingSample) -> None:
+        self.samples.append(sample)
+        self.samples_version += 1
 
     def memory_dataset(self) -> Dataset:
-        return Dataset(
+        cached = self._memory_cache
+        if cached is not None and cached[0] == self.samples_version:
+            return cached[1]
+        dataset = Dataset(
             [s.features for s in self.samples],
             [s.memory_label for s in self.samples],
             weights=[s.weight for s in self.samples],
         )
+        if cached is not None:
+            # Append-only curation: merge the previous dataset's
+            # per-feature sort orders instead of re-sorting from scratch.
+            dataset.adopt_sort_orders(cached[1])
+        self._memory_cache = (self.samples_version, dataset)
+        return dataset
 
     def benefit_dataset(self) -> Dataset:
-        return Dataset(
+        cached = self._benefit_cache
+        if cached is not None and cached[0] == self.samples_version:
+            return cached[1]
+        dataset = Dataset(
             [s.features for s in self.samples],
             [s.cache_label for s in self.samples],
         )
+        memory = self._memory_cache
+        if memory is not None and memory[0] == self.samples_version:
+            # Same rows as the memory dataset — share its sort orders.
+            dataset.adopt_sort_orders(memory[1])
+        elif cached is not None:
+            dataset.adopt_sort_orders(cached[1])
+        self._benefit_cache = (self.samples_version, dataset)
+        return dataset
 
 
 class ModelTrainer:
@@ -133,22 +178,33 @@ class ModelTrainer:
             )
             if under:
                 sample.weight = self.config.underprediction_weight
-                models.samples.append(sample)
+                models.add_sample(sample)
                 # §5.3.1: memory exhaustion corrections happen quickly.
                 if record.oom_kills > 0:
                     retrain_now = True
             elif extreme_over:
-                models.samples.append(sample)
+                models.add_sample(sample)
             # Exact/near predictions are not added (the set stays small).
         else:
-            models.samples.append(sample)
+            models.add_sample(sample)
         if retrain_now or models.invocations_seen % self.config.retrain_every == 0:
             self.retrain(models)
 
     # -- training -----------------------------------------------------------
 
-    def retrain(self, models: FunctionModels) -> None:
+    def retrain(self, models: FunctionModels, force: bool = False) -> None:
         if len(models.samples) < 2:
+            return
+        if (
+            not force
+            and models.memory_model is not None
+            and models.fitted_version == models.samples_version
+        ):
+            # Curation added nothing since the last fit; J48 is
+            # deterministic, so refitting would rebuild the exact same
+            # trees.  (Pre-maturity this never triggers: every
+            # completion appends a sample.)
+            models.retrains_skipped += 1
             return
         dataset = models.memory_dataset()
         if dataset.n_classes < 1:
@@ -157,13 +213,8 @@ class ModelTrainer:
         benefit = models.benefit_dataset()
         models.benefit_model = J48Classifier().fit(benefit)
         models.retrains += 1
-        if self.registry is not None and models.function_key in self.registry:
-            self.registry.store_model(
-                models.function_key, "memory", models.memory_model
-            )
-            self.registry.store_model(
-                models.function_key, "benefit", models.benefit_model
-            )
+        models.fitted_version = models.samples_version
+        self._publish_models(models)
         if (
             not models.mature
             and models.invocations_seen >= self.config.min_history_for_maturity
@@ -171,6 +222,27 @@ class ModelTrainer:
             if self._check_maturity(models):
                 models.mature = True
                 models.matured_after = models.invocations_seen
+
+    def _publish_models(self, models: FunctionModels) -> None:
+        if self.registry is not None and models.function_key in self.registry:
+            self.registry.store_model(
+                models.function_key, "memory", models.memory_model
+            )
+            self.registry.store_model(
+                models.function_key, "benefit", models.benefit_model
+            )
+
+    def adopt_models(self, models: FunctionModels) -> None:
+        """Install externally trained per-function state.
+
+        Used by the shared warm-model cache: a cache hit injects the
+        deserialized :class:`FunctionModels` exactly as the cold
+        pretraining path would have left it, then republishes the
+        fitted models to the function registry.
+        """
+        self._models[models.function_key] = models
+        if models.memory_model is not None:
+            self._publish_models(models)
 
     def _check_maturity(self, models: FunctionModels) -> bool:
         """The §5.3.1 maturation criterion.

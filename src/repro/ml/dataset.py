@@ -46,6 +46,10 @@ class Dataset:
         self._types: Dict[str, str] = {}
         for name in self.feature_names:
             self._types[name] = self._infer_type(name)
+        # Rows never change after construction, so materialized columns
+        # and their stable sort orders are cached per feature.
+        self._column_cache: Dict[str, np.ndarray] = {}
+        self._order_cache: Dict[str, np.ndarray] = {}
 
     def _infer_type(self, name: str) -> str:
         """A column is nominal if *any* observed value is symbolic.
@@ -80,6 +84,9 @@ class Dataset:
 
     def column(self, name: str) -> np.ndarray:
         """The column as a numpy array (object dtype for nominal)."""
+        cached = self._column_cache.get(name)
+        if cached is not None:
+            return cached
         if self._types[name] == "numeric":
             values = []
             for row in self.rows:
@@ -88,10 +95,78 @@ class Dataset:
                     values.append(float(raw) if raw is not None else 0.0)
                 except (TypeError, ValueError):
                     values.append(0.0)
-            return np.asarray(values)
-        return np.asarray(
-            [row.get(name) for row in self.rows], dtype=object
-        )
+            column = np.asarray(values)
+        else:
+            column = np.asarray(
+                [row.get(name) for row in self.rows], dtype=object
+            )
+        self._column_cache[name] = column
+        return column
+
+    def sort_order(self, name: str) -> np.ndarray:
+        """Stable (mergesort) argsort of a numeric column, cached.
+
+        This is the presort the tree learner walks instead of
+        re-sorting at every node; callers must treat it as read-only.
+        """
+        order = self._order_cache.get(name)
+        if order is None:
+            order = np.argsort(self.column(name), kind="mergesort")
+            self._order_cache[name] = order
+        return order
+
+    def adopt_sort_orders(self, prev: "Dataset") -> int:
+        """Reuse ``prev``'s cached numeric sort orders when ``prev``'s
+        rows are a prefix of this dataset's rows (append-only curation,
+        §5.3.3): only the appended tail is sorted and merged in.
+
+        The merge is exactly equivalent to a fresh stable sort — equal
+        values keep index order because all appended indices are larger
+        than every prefix index.  Columns whose prefix changed (e.g. a
+        feature flipped nominal because of a new symbolic value) are
+        verified and skipped.  Returns the number of orders adopted.
+        """
+        n_prev = len(prev)
+        n = len(self)
+        if n_prev > n:
+            return 0
+        adopted = 0
+        for name, prev_order in prev._order_cache.items():
+            if (
+                self._types.get(name) != "numeric"
+                or prev._types.get(name) != "numeric"
+            ):
+                continue
+            column = self.column(name)
+            prev_column = prev.column(name)
+            if not np.array_equal(column[:n_prev], prev_column):
+                continue
+            tail = column[n_prev:]
+            if len(tail) == 0:
+                self._order_cache[name] = prev_order
+                adopted += 1
+                continue
+            if np.isnan(tail).any() or np.isnan(prev_column).any():
+                # searchsorted has no total order over NaN; fall back
+                # to the fresh sort for this column.
+                continue
+            tail_order = np.argsort(tail, kind="mergesort")
+            tail_sorted = tail[tail_order]
+            prefix_sorted = prev_column[prev_order]
+            # Ties place appended rows after prefix rows (side="right"),
+            # matching stable-sort index order.
+            positions = np.searchsorted(
+                prefix_sorted, tail_sorted, side="right"
+            )
+            merged = np.empty(n, dtype=prev_order.dtype)
+            targets = positions + np.arange(len(tail_sorted))
+            mask = np.ones(n, dtype=bool)
+            mask[targets] = False
+            merged[targets] = tail_order + n_prev
+            merged[mask] = prev_order
+            self._order_cache[name] = merged
+            adopted += 1
+        return adopted
 
     def nominal_values(self, name: str) -> List[Any]:
         """The ensemble of values a nominal feature takes (§5.1.2)."""

@@ -22,6 +22,14 @@ class MemoryIntervals:
         self.interval_mb = interval_mb
         self.max_mb = max_mb
         self.n_classes = int(math.ceil(max_mb / interval_mb))
+        # Upper bounds are queried once per mature prediction, on the
+        # invocation critical path: precompute the (tiny) table once.
+        # Entries use the exact expression the arithmetic path used,
+        # so lookups are bit-identical to the multiply they replace.
+        self._top = self.n_classes - 1
+        self._upper = tuple(
+            (i + 1) * self.interval_mb for i in range(self.n_classes)
+        )
 
     def label(self, memory_mb: float) -> int:
         """Interval index containing ``memory_mb`` (clamped to range)."""
@@ -30,16 +38,20 @@ class MemoryIntervals:
         # The tiny epsilon keeps exact upper bounds in their own
         # interval despite floating-point division error.
         index = int(math.ceil(memory_mb / self.interval_mb - 1e-9)) - 1
-        return max(0, min(index, self.n_classes - 1))
+        return max(0, min(index, self._top))
 
     def upper_bound_mb(self, label: int) -> float:
         """The allocation for a predicted interval: its upper bound."""
-        label = max(0, min(label, self.n_classes - 1))
-        return (label + 1) * self.interval_mb
+        return self._upper[max(0, min(label, self._top))]
 
     def bump(self, label: int, intervals: int = 1) -> int:
         """Conservative adjustment: ``intervals`` steps up (§5.3.1)."""
-        return min(label + intervals, self.n_classes - 1)
+        return min(label + intervals, self._top)
+
+    def allocation_mb(self, label: int, bump_intervals: int = 0) -> float:
+        """Fused ``bump`` + ``upper_bound_mb``: the critical-path
+        sizing query as a single clamped table lookup."""
+        return self._upper[max(0, min(label + bump_intervals, self._top))]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -17,13 +17,22 @@ makes J48 usable on the invocation critical path (§7.1.2).
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.ml.compiled import CompiledTree
 from repro.ml.dataset import Dataset
 
 _EPS = 1e-12
+
+
+@lru_cache(maxsize=4096)
+def _zero_error_bound(n: float, cf: float) -> float:
+    """C4.5's exact binomial bound for zero observed errors, cached —
+    pruning evaluates it twice per node and node weights repeat."""
+    return 1.0 - cf ** (1.0 / n)
 
 
 def _entropy(counts: np.ndarray) -> float:
@@ -43,9 +52,9 @@ def _upper_error_bound(n: float, e: float, z: float, cf: float = 0.25) -> float:
     if n <= 0:
         return 0.0
     if e < _EPS:
-        return 1.0 - cf ** (1.0 / n)
+        return _zero_error_bound(n, cf)
     if e < 1.0:
-        base = 1.0 - cf ** (1.0 / n)
+        base = _zero_error_bound(n, cf)
         return base + e * (_upper_error_bound(n, 1.0, z, cf) - base)
     f = e / n
     z2 = z * z
@@ -127,10 +136,12 @@ class J48Classifier:
         self.feature_subset = feature_subset
         self.rng = rng
         self._root: Optional[_Node] = None
+        self._compiled: Optional[CompiledTree] = None
         self._majority: int = 0
         self._n_classes: int = 0
-        # One-sided z for the pruning confidence (C4.5's CF).
-        self._z = _normal_quantile(1.0 - confidence)
+        # One-sided z for the pruning confidence (C4.5's CF), cached
+        # per confidence level across classifier instances.
+        self._z = _cached_normal_quantile(1.0 - confidence)
 
     # -- training ------------------------------------------------------------
 
@@ -151,9 +162,20 @@ class J48Classifier:
             self._labels, weights=self._weights, minlength=self._n_classes
         )
         self._majority = int(counts.argmax())
-        self._root = self._build(np.arange(len(dataset)), depth=0)
+        # Presort every numeric column once (reusing the dataset's
+        # cached orders — shared across refits of the same function);
+        # nodes then partition the sorted orders instead of re-sorting.
+        orders = {
+            name: dataset.sort_order(name)
+            for name in self._feature_names
+            if self._types[name] == "numeric"
+        }
+        self._membership = np.zeros(len(dataset), dtype=bool)
+        self._root = self._build(np.arange(len(dataset)), depth=0, orders=orders)
+        del self._membership
         if self.prune:
             self._prune_node(self._root)
+        self._compiled = CompiledTree(self._root, self._types)
         # Release training references (the tree keeps what it needs).
         del self._columns, self._labels, self._weights
         return self
@@ -165,7 +187,35 @@ class J48Classifier:
             minlength=self._n_classes,
         )
 
-    def _build(self, indices: np.ndarray, depth: int) -> _Node:
+    def _child_orders(
+        self,
+        orders: Dict[str, np.ndarray],
+        child_idx: np.ndarray,
+        split_feature: str,
+    ) -> Dict[str, np.ndarray]:
+        """Filter every presorted order down to a child's index set.
+
+        O(|child| x features) via a reusable membership mask — replaces
+        the per-node O(m log m) argsort of the historical code.  The
+        split feature's own order is the (already sorted) child slice.
+        """
+        mask = self._membership
+        mask[child_idx] = True
+        filtered = {
+            name: child_idx
+            if name == split_feature
+            else order[mask[order]]
+            for name, order in orders.items()
+        }
+        mask[child_idx] = False
+        return filtered
+
+    def _build(
+        self,
+        indices: np.ndarray,
+        depth: int,
+        orders: Dict[str, np.ndarray],
+    ) -> _Node:
         counts = self._class_counts(indices)
         node = _Node(int(counts.argmax()), counts)
         if (
@@ -174,7 +224,7 @@ class J48Classifier:
             or (self.max_depth is not None and depth >= self.max_depth)
         ):
             return node
-        split = self._choose_split(indices, counts)
+        split = self._choose_split(indices, counts, orders)
         if split is None:
             return node
         node.is_leaf = False
@@ -182,11 +232,23 @@ class J48Classifier:
         node.threshold = split.threshold
         if split.threshold is not None:
             (_, left_idx), (_, right_idx) = split.partitions
-            node.left = self._build(left_idx, depth + 1)
-            node.right = self._build(right_idx, depth + 1)
+            node.left = self._build(
+                left_idx,
+                depth + 1,
+                self._child_orders(orders, left_idx, split.feature),
+            )
+            node.right = self._build(
+                right_idx,
+                depth + 1,
+                self._child_orders(orders, right_idx, split.feature),
+            )
         else:
             node.children = {
-                value: self._build(part_idx, depth + 1)
+                value: self._build(
+                    part_idx,
+                    depth + 1,
+                    self._child_orders(orders, part_idx, ""),
+                )
                 for value, part_idx in split.partitions
             }
         return node
@@ -203,7 +265,10 @@ class J48Classifier:
         return [self._feature_names[i] for i in picked]
 
     def _choose_split(
-        self, indices: np.ndarray, parent_counts: np.ndarray
+        self,
+        indices: np.ndarray,
+        parent_counts: np.ndarray,
+        orders: Dict[str, np.ndarray],
     ) -> Optional[_Split]:
         parent_entropy = _entropy(parent_counts)
         total_weight = parent_counts.sum()
@@ -211,7 +276,7 @@ class J48Classifier:
         for feature in self._candidate_features():
             if self._types[feature] == "numeric":
                 split = self._numeric_split(
-                    feature, indices, parent_entropy, total_weight
+                    feature, orders[feature], parent_entropy, total_weight
                 )
             else:
                 split = self._nominal_split(
@@ -226,14 +291,14 @@ class J48Classifier:
     def _numeric_split(
         self,
         feature: str,
-        indices: np.ndarray,
+        sorted_indices: np.ndarray,
         parent_entropy: float,
         total_weight: float,
     ) -> Optional[_Split]:
-        values = self._columns[feature][indices]
-        order = np.argsort(values, kind="mergesort")
-        sorted_values = values[order]
-        sorted_indices = indices[order]
+        # ``sorted_indices`` is the node's presorted order for this
+        # feature (maintained top-down from the dataset's cached global
+        # sort) — no per-node argsort.
+        sorted_values = self._columns[feature][sorted_indices]
         labels = self._labels[sorted_indices]
         weights = self._weights[sorted_indices]
         n = len(sorted_values)
@@ -340,6 +405,24 @@ class J48Classifier:
     # -- prediction ----------------------------------------------------------
 
     def predict_one(self, row: Dict[str, Any]) -> int:
+        compiled = self._compiled
+        if compiled is None:
+            raise RuntimeError("classifier is not fitted")
+        return compiled.predict_encoded(compiled.encode(row))
+
+    def predict(self, rows: Sequence[Dict[str, Any]]) -> np.ndarray:
+        compiled = self._compiled
+        if compiled is None:
+            raise RuntimeError("classifier is not fitted")
+        return compiled.predict(rows)
+
+    def predict_one_recursive(self, row: Dict[str, Any]) -> int:
+        """The historical pointer-chasing walk over ``_Node`` objects.
+
+        Kept as the reference implementation: the parity tests assert
+        the compiled fast path returns exactly what this returns, and
+        the ``ml_predict`` microbench reports its speedup over it.
+        """
         node = self._root
         if node is None:
             raise RuntimeError("classifier is not fitted")
@@ -358,19 +441,28 @@ class J48Classifier:
                 node = child
         return node.prediction
 
-    def predict(self, rows: Sequence[Dict[str, Any]]) -> np.ndarray:
-        return np.asarray([self.predict_one(row) for row in rows])
+    def predict_recursive(self, rows: Sequence[Dict[str, Any]]) -> np.ndarray:
+        return np.asarray([self.predict_one_recursive(row) for row in rows])
 
     # -- introspection -------------------------------------------------------
 
     @property
+    def compiled(self) -> Optional[CompiledTree]:
+        return self._compiled
+
+    @property
     def n_nodes(self) -> int:
+        if self._compiled is not None:
+            return self._compiled.n_nodes
         if self._root is None:
             return 0
         return len(self._root.subtree_nodes())
 
     @property
     def depth(self) -> int:
+        if self._compiled is not None:
+            return self._compiled.depth
+
         def walk(node: _Node) -> int:
             if node.is_leaf:
                 return 0
@@ -379,6 +471,13 @@ class J48Classifier:
         if self._root is None:
             return 0
         return walk(self._root)
+
+
+@lru_cache(maxsize=64)
+def _cached_normal_quantile(p: float) -> float:
+    """Memoized inverse normal CDF — one value per confidence level,
+    shared across every classifier the trainer ever constructs."""
+    return _normal_quantile(p)
 
 
 def _normal_quantile(p: float) -> float:

@@ -1,0 +1,158 @@
+"""Incremental retraining: no-op refits are skipped, dataset builds
+are memoized on the sample-set fingerprint, and cached sort orders
+carry across refits without changing what gets trained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import OFCConfig
+from repro.core.trainer import FunctionModels, ModelTrainer, TrainingSample
+from repro.ml.dataset import Dataset
+
+
+def _sample(i: int, weight: float = 1.0) -> TrainingSample:
+    return TrainingSample(
+        features={"in_size": float(i * 1024), "arg": "x" if i % 2 else "y"},
+        memory_label=i % 4,
+        cache_label=i % 2,
+        weight=weight,
+    )
+
+
+def _models_with(n: int) -> FunctionModels:
+    models = FunctionModels("fn")
+    for i in range(n):
+        models.add_sample(_sample(i))
+    return models
+
+
+def test_version_bumps_on_every_append():
+    models = _models_with(5)
+    assert models.samples_version == 5
+    assert models.fitted_version == -1
+
+
+def test_retrain_skips_when_samples_unchanged():
+    trainer = ModelTrainer(OFCConfig())
+    models = _models_with(12)
+    trainer.retrain(models)
+    assert models.retrains == 1
+    assert models.fitted_version == models.samples_version
+    fitted = models.memory_model
+    # Nothing appended since the fit: the refit is skipped and the
+    # model object is untouched.
+    trainer.retrain(models)
+    trainer.retrain(models)
+    assert models.retrains == 1
+    assert models.retrains_skipped == 2
+    assert models.memory_model is fitted
+    # A new sample invalidates the fingerprint.
+    models.add_sample(_sample(99))
+    trainer.retrain(models)
+    assert models.retrains == 2
+    assert models.memory_model is not fitted
+
+
+def test_force_retrain_overrides_skip():
+    trainer = ModelTrainer(OFCConfig())
+    models = _models_with(12)
+    trainer.retrain(models)
+    before = models.memory_model
+    trainer.retrain(models, force=True)
+    assert models.retrains == 2
+    assert models.memory_model is not before
+    assert models.retrains_skipped == 0
+
+
+def test_datasets_memoized_on_fingerprint():
+    models = _models_with(10)
+    d1 = models.memory_dataset()
+    assert models.memory_dataset() is d1
+    b1 = models.benefit_dataset()
+    assert models.benefit_dataset() is b1
+    models.add_sample(_sample(10))
+    d2 = models.memory_dataset()
+    assert d2 is not d1
+    assert len(d2) == 11
+
+
+def test_adopted_sort_orders_match_fresh_sort():
+    """The append-merge path must produce the exact stable order a
+    from-scratch mergesort would."""
+    rng = np.random.default_rng(0)
+    models = FunctionModels("fn")
+    for i in range(40):
+        models.add_sample(
+            TrainingSample(
+                features={
+                    "a": float(rng.integers(0, 10)),  # heavy ties
+                    "b": float(rng.normal()),
+                },
+                memory_label=int(rng.integers(0, 3)),
+                cache_label=0,
+            )
+        )
+    first = models.memory_dataset()
+    for i in range(7):
+        models.add_sample(
+            TrainingSample(
+                features={
+                    "a": float(rng.integers(0, 10)),
+                    "b": float(rng.normal()),
+                },
+                memory_label=int(rng.integers(0, 3)),
+                cache_label=0,
+            )
+        )
+    merged = models.memory_dataset()
+    assert merged is not first
+    fresh = Dataset(
+        [s.features for s in models.samples],
+        [s.memory_label for s in models.samples],
+        weights=[s.weight for s in models.samples],
+    )
+    for feature in ("a", "b"):
+        np.testing.assert_array_equal(
+            merged.sort_order(feature), fresh.sort_order(feature)
+        )
+
+
+def test_retrained_models_identical_with_and_without_memoization():
+    """Sort-order adoption and dataset reuse must not change the fitted
+    trees: predictions agree with a cold trainer fed the same stream."""
+    config = OFCConfig()
+    warm = ModelTrainer(config)
+    models = _models_with(30)
+    warm.retrain(models)
+    for i in range(30, 37):
+        models.add_sample(_sample(i))
+    warm.retrain(models)  # adopts cached sort orders
+
+    cold_models = _models_with(37)
+    cold = ModelTrainer(config)
+    cold.retrain(cold_models)
+
+    rows = [s.features for s in models.samples]
+    assert list(models.memory_model.predict(rows)) == list(
+        cold_models.memory_model.predict(rows)
+    )
+    assert list(models.benefit_model.predict(rows)) == list(
+        cold_models.benefit_model.predict(rows)
+    )
+    assert models.memory_model.n_nodes == cold_models.memory_model.n_nodes
+
+
+def test_getstate_drops_dataset_caches():
+    import pickle
+
+    models = _models_with(8)
+    models.memory_dataset()
+    models.benefit_dataset()
+    clone = pickle.loads(pickle.dumps(models))
+    assert clone._memory_cache is None
+    assert clone._benefit_cache is None
+    assert clone.samples_version == models.samples_version
+    # Cache rebuilds transparently after the round trip.
+    assert len(clone.memory_dataset()) == 8
