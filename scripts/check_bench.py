@@ -14,6 +14,13 @@ absolute bar in CI, but the *relative* claim "compiled is the fast
 path" must hold everywhere.  The measured rates ride along in the
 metrics artifact for trend tracking.
 
+The baseline file is sectioned (``bench-baseline/v2``): ``headlines``
+holds the Figure 7 latencies (tolerance-gated) and ``micro`` holds
+seeded workload counters (exact-match gated, e.g. the tenants arrival
+count).  *Every* baseline key must have a measured counterpart — a
+benchmark that silently stops running fails the gate instead of
+passing it.  A legacy flat baseline is read as headlines-only.
+
 The simulation is fully seeded, so on an unchanged tree the measured
 values match the baseline exactly; the 25% tolerance only absorbs
 intentional small model/latency adjustments.  Regenerate the baseline
@@ -40,6 +47,7 @@ from repro.workloads.functions import FIGURE7_FUNCTIONS  # noqa: E402
 TOLERANCE = 0.25
 #: The compiled path must at minimum not lose to the recursive walk.
 ML_MIN_SPEEDUP = 1.0
+BASELINE_SCHEMA = "bench-baseline/v2"
 BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "bench_baseline.json"
 )
@@ -60,7 +68,36 @@ def measure() -> dict:
     }
 
 
-def export_metrics(headlines: dict, ml: dict, out: str) -> None:
+def measure_micro() -> dict:
+    """Seeded workload counters, keyed "family/name" -> exact value.
+
+    Unlike the wall-clock rates these are deterministic by
+    construction, so the gate requires an exact match: any drift means
+    a seeded generator changed behaviour.
+    """
+    from repro.workloads.tenants import (  # noqa: E402
+        MergedArrivalStream,
+        TenantWorkloadConfig,
+        synthesize_tenants,
+    )
+
+    config = TenantWorkloadConfig(n_tenants=200, mean_interval_s=60.0, seed=0)
+    stream = MergedArrivalStream(synthesize_tenants(config), deadline=3600.0)
+    return {"tenants/arrivals_200t_1h": sum(1 for _ in stream)}
+
+
+def load_baseline(path: str) -> dict:
+    """Read the baseline, upgrading a legacy flat file to v2 sections."""
+    with open(path, encoding="utf-8") as f:
+        loaded = json.load(f)
+    if loaded.get("schema") == BASELINE_SCHEMA:
+        return loaded
+    # Legacy flat format: every key is a headline, no micro section.
+    print("note: legacy flat baseline (regenerate with --write-baseline)")
+    return {"schema": BASELINE_SCHEMA, "headlines": loaded, "micro": {}}
+
+
+def export_metrics(headlines: dict, ml: dict, micro: dict, out: str) -> None:
     registry = MetricsRegistry()
     gauge = registry.gauge(
         "bench_total_s", help="Figure 7 single-stage headline latency (s)"
@@ -75,6 +112,12 @@ def export_metrics(headlines: dict, ml: dict, out: str) -> None:
     for metric, value in ml.items():
         ml_gauge.set(float(value), metric=metric)
     registry.register_collector("ml", lambda: dict(ml))
+    micro_gauge = registry.gauge(
+        "bench_micro", help="seeded workload counters (exact-match gated)"
+    )
+    for key, value in micro.items():
+        micro_gauge.set(float(value), key=key)
+    registry.register_collector("micro", lambda: dict(micro))
     export_json(
         out,
         registry=registry,
@@ -100,12 +143,18 @@ def main(argv=None) -> int:
 
     headlines = measure()
     ml = bench_ml(n_rows=800)
-    export_metrics(headlines, ml, args.out)
+    micro = measure_micro()
+    export_metrics(headlines, ml, micro, args.out)
     print(f"[bench metrics written to {args.out}]")
 
     if args.write_baseline:
+        doc = {
+            "schema": BASELINE_SCHEMA,
+            "headlines": dict(sorted(headlines.items())),
+            "micro": dict(sorted(micro.items())),
+        }
         with open(BASELINE_PATH, "w", encoding="utf-8") as f:
-            json.dump(headlines, f, indent=2, sort_keys=True)
+            json.dump(doc, f, indent=2)
             f.write("\n")
         print(f"[baseline written to {BASELINE_PATH}]")
         return 0
@@ -116,8 +165,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    with open(BASELINE_PATH, encoding="utf-8") as f:
-        baseline = json.load(f)
+    baseline = load_baseline(BASELINE_PATH)
 
     failures = []
     if ml["ml_predict_speedup"] < ML_MIN_SPEEDUP:
@@ -133,18 +181,31 @@ def main(argv=None) -> int:
             f"ml gate OK: compiled predict {ml['ml_predict_speedup']:.2f}x "
             f"the recursive walk ({ml['ml_predict_rows_per_sec']:,.0f} rows/s)"
         )
-    for key, base in sorted(baseline.items()):
+    # Every baseline key must be measured: a benchmark that silently
+    # stops running is a gate failure, not a pass.
+    for key, base in sorted(baseline["headlines"].items()):
         measured = headlines.get(key)
         if measured is None:
-            failures.append(f"{key}: missing from current run")
+            failures.append(f"{key}: baseline headline not measured this run")
             continue
         if measured > base * (1.0 + TOLERANCE):
             pct = 100.0 * (measured - base) / base
             failures.append(
                 f"{key}: {measured:.6f}s vs baseline {base:.6f}s (+{pct:.1f}%)"
             )
-    for key in sorted(set(headlines) - set(baseline)):
+    for key, base in sorted(baseline["micro"].items()):
+        measured = micro.get(key)
+        if measured is None:
+            failures.append(f"{key}: baseline micro entry not measured")
+        elif measured != base:
+            failures.append(
+                f"{key}: {measured} vs baseline {base} "
+                "(seeded counter drifted)"
+            )
+    for key in sorted(set(headlines) - set(baseline["headlines"])):
         print(f"note: new headline not in baseline: {key}")
+    for key in sorted(set(micro) - set(baseline["micro"])):
+        print(f"note: new micro entry not in baseline: {key}")
 
     if failures:
         print(
@@ -156,8 +217,9 @@ def main(argv=None) -> int:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(
-        f"bench gate OK: {len(baseline)} headlines within "
-        f"{TOLERANCE:.0%} of baseline"
+        f"bench gate OK: {len(baseline['headlines'])} headlines within "
+        f"{TOLERANCE:.0%} of baseline, "
+        f"{len(baseline['micro'])} micro entries exact"
     )
     return 0
 

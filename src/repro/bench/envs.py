@@ -90,11 +90,20 @@ def build_ofc_env(
     node_mb: float = DEFAULT_NODE_MB,
     seed: int = 0,
     config: Optional[OFCConfig] = None,
+    keepalive_s: Optional[float] = None,
 ) -> OFCPlatform:
-    """The full OFC deployment (started, buckets created)."""
+    """The full OFC deployment (started, buckets created).
+
+    ``keepalive_s`` overrides the sandbox keep-alive window; the
+    multi-tenant bench shortens it so thousands of one-off tenants do
+    not pin idle sandboxes for the default ten minutes.
+    """
+    platform_config = _platform_config(nodes, node_mb)
+    if keepalive_s is not None:
+        platform_config.keepalive_s = keepalive_s
     system = OFCPlatform(
         config=config,
-        platform_config=_platform_config(nodes, node_mb),
+        platform_config=platform_config,
         seed=seed,
     )
     for bucket in ("inputs", "outputs"):

@@ -356,6 +356,9 @@ def record(entry: Dict, path: str = DEFAULT_PATH) -> Dict:
             # Keep unknown-schema history around instead of clobbering.
             doc["entries"] = list(loaded.get("entries", []))
     doc["entries"].append(entry)
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=False)
         fh.write("\n")

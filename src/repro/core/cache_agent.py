@@ -44,6 +44,7 @@ class CacheAgent:
         persistor: PersistorService,
         config: Optional[OFCConfig] = None,
         metrics: Optional[OFCMetrics] = None,
+        tenancy=None,
     ):
         self.kernel = kernel
         self.invoker = invoker
@@ -51,6 +52,10 @@ class CacheAgent:
         self.persistor = persistor
         self.config = config or OFCConfig()
         self.metrics = metrics or OFCMetrics()
+        #: Per-tenant accounting (:mod:`repro.core.tenancy`); when set,
+        #: reclamation evicts over-quota tenants' objects first and the
+        #: periodic sweep resynchronises the usage ledger.
+        self.tenancy = tenancy
         self.node_id = invoker.node_id
         self.server = cluster.server(invoker.node_id)
         self._retarget_queued = False
@@ -86,12 +91,15 @@ class CacheAgent:
     # -- target sizing ------------------------------------------------------------
 
     def target_capacity_bytes(self) -> int:
-        """The cache gets everything sandboxes and slack do not hold."""
+        """The cache gets everything sandboxes and slack do not hold,
+        up to the optional per-node harvest ceiling."""
         free_mb = (
             self.invoker.total_memory_mb
             - self.invoker.committed_mb
             - self.invoker.slack_mb
         )
+        if self.config.cache_cap_mb is not None:
+            free_mb = min(free_mb, self.config.cache_cap_mb)
         return max(0, int(free_mb * MB))
 
     def _on_sandbox_event(self, event: str, sandbox: Sandbox) -> None:
@@ -183,7 +191,7 @@ class CacheAgent:
                 for o in self._local_masters()
                 if not o.flags.get("dirty", False)
             ]
-            clean.sort(key=lambda o: o.t_access)
+            clean.sort(key=self._reclaim_order)
             for obj in clean:
                 if self._fits(goal):
                     break
@@ -246,6 +254,23 @@ class CacheAgent:
             mode="migration" if migrated else ("eviction" if evicted else "plain")
         )
 
+    def _reclaim_order(self, obj):
+        """Sort key for pass-2 reclamation.
+
+        Without tenancy this is plain LRU.  With a quota policy, objects
+        belonging to tenants holding more than their entitlement go
+        first (LRU within each class): reclamation pressure lands on the
+        over-consumers before it touches anyone's fair share.
+        """
+        tenancy = self.tenancy
+        if tenancy is None:
+            return (False, obj.t_access)
+        tenant = obj.flags.get("tenant")
+        over = bool(tenant) and tenancy.over_quota(
+            tenant, self.cluster.total_capacity
+        )
+        return (not over, obj.t_access)
+
     def _drop(self, key: str) -> Generator:
         try:
             yield from self.cluster.delete(key, caller=self.node_id)
@@ -267,6 +292,15 @@ class CacheAgent:
             shortfall_mb = -invoker.available_mb
             if shortfall_mb <= 1e-3:
                 break
+            # Fast-fail when the cache cannot possibly cover the
+            # shortfall: under heavy cold-start churn many creations
+            # hold committed memory while queueing on the shrink lock,
+            # so each waiter sees every other waiter's commitment in
+            # the shortfall.  Draining the whole cache for a request
+            # that still cannot fit only deepens the convoy — reject
+            # immediately and let the scheduler try another node.
+            if shortfall_mb * MB > self.server.capacity + 1:
+                return False
             target = max(
                 0, self.server.capacity - int(shortfall_mb * MB)
             )
@@ -321,6 +355,22 @@ class CacheAgent:
                 self.metrics.evictions_periodic += 1
             except NoSuchKey:
                 pass
+        if self.tenancy is not None:
+            # Re-derive per-tenant usage from the cluster's actual
+            # contents (fault paths bypass the object hooks).  Every
+            # node's agent runs this sweep; only the first node also
+            # decays the proportional-share demand weights, so the
+            # decay is applied once per period, not once per node.
+            servers = self.cluster.coordinator.servers
+            self.tenancy.resync(
+                (
+                    obj
+                    for server in servers.values()
+                    if server.up
+                    for obj in server.master_objects()
+                ),
+                decay=self.node_id == min(servers),
+            )
         span.finish()
         self._queue_retarget()
 

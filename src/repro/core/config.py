@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.sim.latency import MB
 
@@ -52,6 +53,12 @@ class OFCConfig:
     eviction_min_accesses: int = 5
     #: ...or idle for longer than this.
     eviction_max_idle_s: float = 30 * 60.0
+    #: Optional ceiling on each node's harvested cache, in MB (None =
+    #: harvest everything sandboxes and slack leave free, the paper's
+    #: behaviour).  Operators cap the harvest to bound cache churn; the
+    #: multi-tenant bench uses it to study quota policies under a
+    #: contended pool.
+    cache_cap_mb: Optional[float] = None
 
     # -- autoscaling (§6.4) --------------------------------------------------------
     #: Initial per-node slack pool.
@@ -62,6 +69,19 @@ class OFCConfig:
     churn_sample_period_s: float = 60.0
     #: Sliding-window length, in churn samples.
     churn_window_samples: int = 5
+
+    # -- multi-tenant cache quotas (beyond the paper) ------------------------------
+    #: Cross-tenant admission policy: "none" (the paper's behaviour,
+    #: bit-identical to a quota-free build), "static" (fixed fraction of
+    #: the pool per tenant) or "proportional" (demand-proportional share
+    #: with a floor).  See :mod:`repro.core.tenancy`.
+    tenant_quota_policy: str = "none"
+    #: Per-tenant pool fraction under the "static" policy (1/expected
+    #: tenants is the usual setting).
+    tenant_static_fraction: float = 0.01
+    #: Floor under the "proportional" policy, as a fraction of the equal
+    #: split (0.5 = every active tenant keeps at least half its fair share).
+    tenant_proportional_floor: float = 0.5
 
     # -- storage consistency (§6.2) --------------------------------------------------
     #: True: synchronous shadow writes + persistors + webhooks (full

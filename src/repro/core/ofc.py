@@ -18,6 +18,7 @@ from repro.core.persistor import PersistorService
 from repro.core.predictor import Predictor
 from repro.core.proxy import RcLibClient, RcLibStats
 from repro.core.routing import OFCScheduler
+from repro.core.tenancy import make_quota_policy, TenantCacheAccounting
 from repro.core.trainer import ModelTrainer
 from repro.faas.pipeline import Pipeline, PipelineRecord
 from repro.faas.platform import FaaSPlatform, PlatformConfig
@@ -73,6 +74,18 @@ class OFCPlatform:
         )
         self.metrics = OFCMetrics()
         self.rclib_stats = RcLibStats()
+        # Per-tenant accounting and admission; with the default "none"
+        # policy this is pure bookkeeping and the simulated schedule is
+        # bit-identical to a build without it.
+        self.tenancy = TenantCacheAccounting(
+            policy=make_quota_policy(
+                self.config.tenant_quota_policy,
+                static_fraction=self.config.tenant_static_fraction,
+                proportional_floor=self.config.tenant_proportional_floor,
+            )
+        )
+        self.cluster.on_object_admitted = self._on_object_admitted
+        self.cluster.on_object_removed = self._on_object_removed
         self.trainer = ModelTrainer(
             self.config, self.platform.registry, rsds_profile=rsds_profile
         )
@@ -98,6 +111,7 @@ class OFCPlatform:
                 self.persistor,
                 config=self.config,
                 metrics=self.metrics,
+                tenancy=self.tenancy,
             )
             for invoker in self.platform.invokers
         }
@@ -133,7 +147,14 @@ class OFCPlatform:
             "persistor", lambda: asdict(self.persistor.stats)
         )
         registry.register_collector("invokers", self._invoker_snapshot)
+        registry.register_collector("tenancy", self.tenancy.snapshot)
         return registry
+
+    def _on_object_admitted(self, obj) -> None:
+        self.tenancy.on_object_admitted(obj.flags.get("tenant"), obj.size)
+
+    def _on_object_removed(self, obj) -> None:
+        self.tenancy.on_object_removed(obj.flags.get("tenant"), obj.size)
 
     def _rclib_snapshot(self) -> Dict[str, float]:
         snap: Dict[str, float] = asdict(self.rclib_stats)
@@ -173,6 +194,7 @@ class OFCPlatform:
             self.config,
             record,
             self.rclib_stats,
+            tenancy=self.tenancy,
         )
 
     def _make_monitor(self, record: InvocationRecord, invoker) -> Monitor:

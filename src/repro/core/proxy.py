@@ -64,6 +64,7 @@ class RcLibClient(DataClient):
         config: OFCConfig,
         record: InvocationRecord,
         stats: RcLibStats,
+        tenancy=None,
     ):
         self.kernel = kernel
         self.node_id = node_id
@@ -73,6 +74,20 @@ class RcLibClient(DataClient):
         self.config = config
         self.record = record
         self.stats = stats
+        #: Optional per-tenant accounting + admission policy
+        #: (:class:`repro.core.tenancy.TenantCacheAccounting`).
+        self.tenancy = tenancy
+
+    @property
+    def _tenant(self) -> str:
+        request = getattr(self.record, "request", None)
+        return getattr(request, "tenant", "") or ""
+
+    def _admit(self, size: int) -> bool:
+        """Cross-tenant admission check for caching ``size`` bytes."""
+        if self.tenancy is None or not self._tenant:
+            return True
+        return self.tenancy.admit(self._tenant, size, self.cluster.total_capacity)
 
     # -- helpers ------------------------------------------------------------
 
@@ -125,11 +140,15 @@ class RcLibClient(DataClient):
                     self.stats.hits_local += 1
                 else:
                     self.stats.hits_remote += 1
+                if self.tenancy is not None and self._tenant:
+                    self.tenancy.record_hit(self._tenant, cached.size)
                 return self._as_stored_object(key, cached)
         obj = yield from self.store.get(bucket, name, internal=True)
         if self._should_cache:
             self.stats.misses += 1
-            if self._cacheable(obj.meta.size):
+            if self.tenancy is not None and self._tenant:
+                self.tenancy.record_miss(self._tenant, obj.meta.size)
+            if self._cacheable(obj.meta.size) and self._admit(obj.meta.size):
                 self._populate_async(key, obj)
         else:
             self.stats.uncached_reads += 1
@@ -148,6 +167,7 @@ class RcLibClient(DataClient):
                     flags={
                         "dirty": False,
                         "input": True,
+                        "tenant": self._tenant,
                         "user_meta": dict(obj.meta.user_meta),
                     },
                 )
@@ -192,6 +212,10 @@ class RcLibClient(DataClient):
             if intermediate
             else self._cacheable(size)
         )
+        if cacheable and not self._admit(size):
+            # Over the tenant's cache entitlement: the write degrades to
+            # a direct RSDS put, exactly like a size-ineligible object.
+            cacheable = False
         if not cacheable:
             self.stats.writes_direct += 1
             yield from self.store.put(
@@ -242,6 +266,7 @@ class RcLibClient(DataClient):
             "intermediate": intermediate,
             "pipeline_id": pipeline_id,
             "final": not intermediate,
+            "tenant": self._tenant,
             "user_meta": dict(user_meta or {}),
         }
         try:

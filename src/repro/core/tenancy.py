@@ -1,0 +1,299 @@
+"""Per-tenant cache accounting and admission/quota policies.
+
+OFC's cache is one harvested pool shared by every tenant on the
+platform.  The paper evaluates it with eight cooperative tenants and
+never asks who the cached bytes belong to; at production tenant counts
+(tens of thousands, heavy-tailed popularity) the pool becomes a
+contended resource and the hit ratio a *per-tenant* quantity.  This
+module supplies the bookkeeping and the policy seam:
+
+* :class:`TenantCacheAccounting` — per-tenant usage, hit/miss and
+  admission counters, maintained via the :class:`CacheCluster` object
+  hooks and resynchronised by the cache agent's periodic sweep (the
+  fault paths — crash, recover — bypass the hooks, so the sweep is the
+  source of truth after failures);
+* :class:`QuotaPolicy` and its implementations — ``none`` (the paper's
+  behaviour), ``static`` (a fixed fraction of the pool per tenant) and
+  ``proportional`` (entitlement follows each tenant's share of recent
+  cache demand, with a floor so idle-ish tenants are not starved);
+* :func:`jain_index` — the fairness metric the ``repro tenants``
+  experiment reports over per-tenant hit ratios.
+
+With the default ``none`` policy the accounting is pure bookkeeping:
+no admission is ever refused and no simulation event is created, so
+seeded runs remain bit-identical to a tree without this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+__all__ = [
+    "TenantCacheAccounting",
+    "QuotaPolicy",
+    "NoQuotaPolicy",
+    "StaticQuotaPolicy",
+    "ProportionalSharePolicy",
+    "jain_index",
+    "make_quota_policy",
+]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every tenant fares equally, ``1/n`` when one tenant gets
+    everything.  An empty or all-zero population is defined as fair
+    (1.0): nobody is being favoured.
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares <= 0.0:
+        return 1.0
+    return (total * total) / (n * squares)
+
+
+class QuotaPolicy:
+    """Decides how many cache bytes one tenant may hold."""
+
+    name = "abstract"
+
+    def limit_bytes(
+        self,
+        tenant: str,
+        accounting: "TenantCacheAccounting",
+        capacity_bytes: int,
+    ) -> Optional[float]:
+        """Byte entitlement for ``tenant``; ``None`` means unlimited."""
+        raise NotImplementedError
+
+
+class NoQuotaPolicy(QuotaPolicy):
+    """The paper's behaviour: first come, first cached."""
+
+    name = "none"
+
+    def limit_bytes(self, tenant, accounting, capacity_bytes):
+        return None
+
+
+class StaticQuotaPolicy(QuotaPolicy):
+    """Every tenant gets the same fixed fraction of the pool.
+
+    ``fraction`` is typically ``1 / expected_tenants``.  Strongly fair
+    but not work-conserving: a hot tenant cannot borrow the shares that
+    cold tenants leave idle.
+    """
+
+    name = "static"
+
+    def __init__(self, fraction: float):
+        if fraction <= 0.0:
+            raise ValueError(f"static quota fraction must be > 0: {fraction}")
+        self.fraction = fraction
+
+    def limit_bytes(self, tenant, accounting, capacity_bytes):
+        return capacity_bytes * self.fraction
+
+
+class ProportionalSharePolicy(QuotaPolicy):
+    """Entitlement proportional to the tenant's recent cache demand.
+
+    Each tenant's weight is its exponentially-decayed byte traffic
+    through the cache (hits + misses); the entitlement is the pool
+    scaled by the tenant's weight share, floored at ``floor`` times the
+    equal split so a light tenant always keeps a foothold.  Demand
+    decays on every accounting resync (the cache agent's periodic
+    sweep), so the shares track the workload's diurnal shape.
+    """
+
+    name = "proportional"
+
+    def __init__(self, floor: float = 0.5):
+        if floor < 0.0:
+            raise ValueError(f"proportional floor must be >= 0: {floor}")
+        self.floor = floor
+
+    def limit_bytes(self, tenant, accounting, capacity_bytes):
+        active = len(accounting.demand_bytes) or 1
+        equal_share = capacity_bytes / active
+        total_demand = accounting.total_demand_bytes
+        if total_demand <= 0.0:
+            return equal_share
+        weight = accounting.demand_bytes.get(tenant, 0.0) / total_demand
+        return max(self.floor * equal_share, capacity_bytes * weight)
+
+
+def make_quota_policy(
+    name: str,
+    static_fraction: float = 0.01,
+    proportional_floor: float = 0.5,
+) -> QuotaPolicy:
+    """Policy factory used by :class:`~repro.core.ofc.OFCPlatform`."""
+    if name == "none":
+        return NoQuotaPolicy()
+    if name == "static":
+        return StaticQuotaPolicy(static_fraction)
+    if name == "proportional":
+        return ProportionalSharePolicy(proportional_floor)
+    raise ValueError(f"unknown tenant quota policy: {name}")
+
+
+class TenantCacheAccounting:
+    """Per-tenant cache usage and outcome counters.
+
+    Usage is maintained incrementally through the cluster's
+    admitted/removed object hooks; :meth:`resync` recomputes it from a
+    master-object scan (run by the cache agent's periodic sweep) to
+    absorb any drift from fault paths that bypass the hooks.
+    """
+
+    def __init__(self, policy: Optional[QuotaPolicy] = None):
+        self.policy = policy or NoQuotaPolicy()
+        self.usage_bytes: Dict[str, float] = {}
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+        self.admitted: Dict[str, int] = {}
+        self.rejected: Dict[str, int] = {}
+        self.evicted: Dict[str, int] = {}
+        #: Decayed per-tenant byte traffic, the proportional-share weight.
+        self.demand_bytes: Dict[str, float] = {}
+        self.total_demand_bytes: float = 0.0
+        #: EWMA retention applied to the demand on every resync.
+        self.demand_decay: float = 0.5
+
+    # -- admission -------------------------------------------------------
+
+    def admit(self, tenant: str, size: int, capacity_bytes: int) -> bool:
+        """Policy check for caching ``size`` more bytes for ``tenant``."""
+        limit = self.policy.limit_bytes(tenant, self, capacity_bytes)
+        if limit is None:
+            return True
+        if self.usage_bytes.get(tenant, 0.0) + size <= limit:
+            return True
+        self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+        return False
+
+    def limit_for(self, tenant: str, capacity_bytes: int) -> Optional[float]:
+        return self.policy.limit_bytes(tenant, self, capacity_bytes)
+
+    def over_quota(self, tenant: str, capacity_bytes: int) -> bool:
+        """True when ``tenant`` currently holds more than its entitlement."""
+        limit = self.policy.limit_bytes(tenant, self, capacity_bytes)
+        if limit is None:
+            return False
+        return self.usage_bytes.get(tenant, 0.0) > limit
+
+    # -- usage hooks (wired to CacheCluster.on_object_admitted/removed) --
+
+    def on_object_admitted(self, tenant: Optional[str], size: int) -> None:
+        if not tenant:
+            return
+        self.usage_bytes[tenant] = self.usage_bytes.get(tenant, 0.0) + size
+        self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+
+    def on_object_removed(self, tenant: Optional[str], size: int) -> None:
+        if not tenant:
+            return
+        remaining = self.usage_bytes.get(tenant, 0.0) - size
+        if remaining > 0.0:
+            self.usage_bytes[tenant] = remaining
+        else:
+            self.usage_bytes.pop(tenant, None)
+        self.evicted[tenant] = self.evicted.get(tenant, 0) + 1
+
+    # -- data-plane outcomes (wired to the rclib proxy) ------------------
+
+    def record_hit(self, tenant: str, size: int) -> None:
+        self.hits[tenant] = self.hits.get(tenant, 0) + 1
+        self._record_demand(tenant, size)
+
+    def record_miss(self, tenant: str, size: int) -> None:
+        self.misses[tenant] = self.misses.get(tenant, 0) + 1
+        self._record_demand(tenant, size)
+
+    def _record_demand(self, tenant: str, size: int) -> None:
+        self.demand_bytes[tenant] = self.demand_bytes.get(tenant, 0.0) + size
+        self.total_demand_bytes += size
+
+    # -- maintenance -----------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the outcome counters (hits, misses, admissions, ...).
+
+        Usage and demand are live state and survive: a bench warmup
+        wants fresh counters over a warmed cache, not an empty one.
+        """
+        self.hits = {}
+        self.misses = {}
+        self.admitted = {}
+        self.rejected = {}
+        self.evicted = {}
+
+    def resync(self, objects: Iterable, decay: bool = True) -> None:
+        """Recompute usage from the cluster's master objects and decay
+        the demand weights.  Called from the cache agent's periodic
+        sweep; ``objects`` yields anything with ``size`` and a
+        ``flags['tenant']`` attribution.  ``decay=False`` skips the
+        demand decay (only one node's agent per period applies it)."""
+        usage: Dict[str, float] = {}
+        for obj in objects:
+            tenant = obj.flags.get("tenant")
+            if not tenant:
+                continue
+            usage[tenant] = usage.get(tenant, 0.0) + obj.size
+        self.usage_bytes = usage
+        if not decay:
+            return
+        decay = self.demand_decay
+        if decay < 1.0:
+            decayed = {
+                tenant: value * decay
+                for tenant, value in self.demand_bytes.items()
+                if value * decay >= 1.0
+            }
+            self.demand_bytes = decayed
+            self.total_demand_bytes = sum(decayed.values())
+
+    # -- reporting -------------------------------------------------------
+
+    def tenants_seen(self) -> list:
+        return sorted(set(self.hits) | set(self.misses))
+
+    def hit_ratio(self, tenant: str) -> Optional[float]:
+        hits = self.hits.get(tenant, 0)
+        total = hits + self.misses.get(tenant, 0)
+        if total == 0:
+            return None
+        return hits / total
+
+    def hit_ratios(self) -> Dict[str, float]:
+        """Per-tenant hit ratio for every tenant that touched the cache."""
+        out = {}
+        for tenant in self.tenants_seen():
+            ratio = self.hit_ratio(tenant)
+            if ratio is not None:
+                out[tenant] = ratio
+        return out
+
+    def fairness_index(self) -> float:
+        """Jain's index over the per-tenant hit ratios."""
+        return jain_index(list(self.hit_ratios().values()))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat summary for the :class:`~repro.obs.MetricsRegistry`."""
+        ratios = self.hit_ratios()
+        return {
+            "policy": self.policy.name,
+            "tenants_seen": len(ratios),
+            "fairness_index": self.fairness_index(),
+            "total_hits": sum(self.hits.values()),
+            "total_misses": sum(self.misses.values()),
+            "admissions": sum(self.admitted.values()),
+            "rejections": sum(self.rejected.values()),
+            "evictions": sum(self.evicted.values()),
+            "usage_bytes": sum(self.usage_bytes.values()),
+        }

@@ -95,6 +95,10 @@ class FaaSPlatform:
         self.pipeline_listeners: List[Callable[[PipelineRecord], None]] = []
         self.records: List[InvocationRecord] = []
         self.pipeline_records: List[PipelineRecord] = []
+        #: Streaming injectors (repro.workloads.tenants) switch this off
+        #: so million-invocation runs do not accumulate a record list;
+        #: completion_listeners remain the delivery path either way.
+        self.keep_records = True
         self.keepalive_policy = None
 
     # -- deployment ---------------------------------------------------------
@@ -181,7 +185,8 @@ class FaaSPlatform:
             record.status = "failed"
             record.finished_at = self.kernel.now
         span.finish(status=record.status, retries=record.retries)
-        self.records.append(record)
+        if self.keep_records:
+            self.records.append(record)
         for listener in self.completion_listeners:
             listener(record)
         return record

@@ -8,7 +8,7 @@ the caller's node run at RAM speed, others pay the remote path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Set
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
 from repro.kvcache.coordinator import Coordinator
 from repro.kvcache.errors import (
@@ -80,6 +80,12 @@ class CacheCluster:
         #: Injected fault state (:class:`repro.sim.faults.FaultState`);
         #: ``None`` keeps the data plane on the zero-cost path.
         self.faults = None
+        #: Object-lifecycle hooks (per-tenant accounting): called with a
+        #: :class:`CacheObject` when a master copy is placed or removed
+        #: on the regular data plane.  The fault paths (crash/recover)
+        #: intentionally skip them — the accounting resyncs from a scan.
+        self.on_object_admitted: Optional[Callable] = None
+        self.on_object_removed: Optional[Callable] = None
         # Keys whose live replica count fell below the configured
         # factor (down backup at put time, partial recovery, crashed
         # backup node).  ``repair()`` drains this set.
@@ -188,6 +194,8 @@ class CacheCluster:
             old = master.master_get(key)
             version = old.version + 1
             master.master_delete(key)
+            if self.on_object_removed is not None:
+                self.on_object_removed(old)
         elif self.coordinator.holds(key):
             # The previous master copy died with its node.  Seed the
             # version past the highest surviving replica / coordinator
@@ -209,6 +217,8 @@ class CacheCluster:
             flags=dict(flags or {}),
         )
         master.master_put(obj)
+        if self.on_object_admitted is not None:
+            self.on_object_admitted(obj)
         if master_id == caller:
             yield self._delay(LOCAL_WRITE, size)
         else:
@@ -329,7 +339,10 @@ class CacheCluster:
         span = self.kernel.tracer.start("kvcache.delete", caller=caller)
         master = self.coordinator.server(master_id)
         if master.master_has(key):
+            removed = master.master_get(key)
             master.master_delete(key)
+            if self.on_object_removed is not None:
+                self.on_object_removed(removed)
         for backup_id in self.coordinator.backups_of(key):
             backup = self.coordinator.server(backup_id)
             if backup.up:
@@ -348,7 +361,17 @@ class CacheCluster:
         if extra_bytes < 0:
             raise CacheError("extra_bytes must be non-negative")
         server = self.coordinator.server(node_id)
-        server.resize(server.capacity + extra_bytes)
+        try:
+            server.resize(server.capacity + extra_bytes)
+        except CapacityExceeded:
+            # Backup replication appends to the log without a capacity
+            # check, so the log can sit above the configured capacity;
+            # a small grow must not fail because of that.  Compact the
+            # garbage and never size below what the log actually holds.
+            server.log.clean()
+            server.resize(
+                max(server.capacity + extra_bytes, server.used_bytes)
+            )
         yield self._delay(CACHE_SCALE_PLAIN)
         self.stats.resizes += 1
         return server.capacity

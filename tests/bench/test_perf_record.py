@@ -1,0 +1,20 @@
+"""Tests for the perf-trajectory recorder's file handling."""
+
+import json
+
+from repro.bench.perfbench import SCHEMA_VERSION, record
+
+
+def test_record_creates_missing_parent_directories(tmp_path):
+    path = tmp_path / "results" / "nested" / "BENCH_perf.json"
+    doc = record({"label": "first"}, path=str(path))
+    assert path.exists()
+    assert doc["schema"] == SCHEMA_VERSION
+    assert json.loads(path.read_text())["entries"] == [{"label": "first"}]
+
+
+def test_record_appends_to_existing_trajectory(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    record({"label": "first"}, path=str(path))
+    doc = record({"label": "second"}, path=str(path))
+    assert [e["label"] for e in doc["entries"]] == ["first", "second"]

@@ -1,0 +1,73 @@
+"""End-to-end tests for the ``repro tenants`` fairness sweep."""
+
+import json
+
+from repro.bench.tenants import (
+    POLICIES,
+    TenantsCell,
+    export_grid,
+    format_results,
+    run_tenants_cell,
+    tenants_grid,
+)
+
+
+def _tiny_cell(policy="none", seed=3):
+    return TenantsCell(
+        n_tenants=40,
+        zipf_s=1.1,
+        policy=policy,
+        duration_s=120.0,
+        mean_interval_s=20.0,
+        seed=seed,
+        warmup_s=60.0,
+    )
+
+
+def test_grid_shares_seed_across_policies():
+    cells = tenants_grid(quick=True)
+    assert sorted(c.policy for c in cells) == sorted(POLICIES)
+    # All policies must face the identical workload: same seed per
+    # (tenant count, skew) regardless of policy.
+    assert len({(c.n_tenants, c.zipf_s, c.seed) for c in cells}) == 1
+
+
+def test_tiny_cell_produces_distributions():
+    result = run_tenants_cell(_tiny_cell())
+    assert result.submitted > 0
+    assert result.completed > 0
+    assert result.completed + result.failed == result.submitted
+    assert result.tenants_active > 0
+    assert 0.0 <= result.fairness_index <= 1.0
+    assert 0.0 <= result.hit_ratio_p10 <= result.hit_ratio_p90 <= 1.0
+    assert result.latency_p50_s <= result.latency_p99_s
+    assert result.per_tenant_hit_ratio
+    assert all(
+        0.0 <= ratio <= 1.0
+        for ratio in result.per_tenant_hit_ratio.values()
+    )
+
+
+def test_quota_cell_rejects_and_matches_workload():
+    base = run_tenants_cell(_tiny_cell("none"))
+    quota = run_tenants_cell(_tiny_cell("static"))
+    # Identical seed, identical arrival schedule.
+    assert quota.submitted == base.submitted
+    # The static policy actually refuses admissions under contention.
+    assert quota.quota_rejections > 0
+    assert base.quota_rejections == 0
+
+
+def test_export_grid_document(tmp_path):
+    result = run_tenants_cell(_tiny_cell())
+    out = tmp_path / "results" / "tenants_grid.json"
+    export_grid([result], str(out))
+    doc = json.loads(out.read_text())
+    assert "tenants_fairness_index" in doc["metrics"]
+    assert "tenants_quota_rejections" in doc["metrics"]
+    assert doc["collected"]["tenants"]["cells"] == 1
+    row = doc["meta"]["grid"][0]
+    assert row["fairness_index"] == result.fairness_index
+    assert row["per_tenant_hit_ratio"] == result.per_tenant_hit_ratio
+    # The table formatter accepts the same rows.
+    assert "fairness" in format_results([result])
