@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Non-gating perf trend annotation for CI.
+
+Compares the newest quick entry in a perf trajectory file (the one the
+CI run just appended) against the last recorded *full* entry — the
+deliberate, checked-in measurement — and emits a Markdown summary for
+``$GITHUB_STEP_SUMMARY``.  Exits 0 always: shared-runner wall-clock is
+too noisy to gate on, but a >25% headline drop gets a ``::warning``
+annotation so it is visible on the run page.
+
+Usage: python scripts/perf_trend.py [BENCH_perf.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+THRESHOLD = 0.25
+
+HEADLINES = (
+    ("kernel_events_per_sec", "kernel sleep events/s", None),
+    ("macro", "macro sim-s per wall-s", "sim_s_per_wall_s"),
+)
+
+
+def _metric(entry, key, subkey):
+    value = entry.get(key)
+    if subkey is not None and isinstance(value, dict):
+        value = value.get(subkey)
+    return value if isinstance(value, (int, float)) and value > 0 else None
+
+
+def main(path: str = "BENCH_perf.json") -> int:
+    try:
+        with open(path) as fh:
+            entries = json.load(fh).get("entries", [])
+    except (OSError, ValueError) as exc:
+        print(f"perf-trend: cannot read {path}: {exc}")
+        return 0
+    quick = next((e for e in reversed(entries) if e.get("quick")), None)
+    full = next((e for e in reversed(entries) if not e.get("quick")), None)
+    if quick is None or full is None:
+        print("perf-trend: need one quick and one full entry; skipping")
+        return 0
+    lines = [
+        "### Perf trend (quick CI entry vs last recorded full entry)",
+        "",
+        "| metric | full | quick | delta |",
+        "|---|---|---|---|",
+    ]
+    for key, label, subkey in HEADLINES:
+        new = _metric(quick, key, subkey)
+        old = _metric(full, key, subkey)
+        if new is None or old is None:
+            continue
+        pct = (new - old) / old
+        lines.append(f"| {label} | {old:,.0f} | {new:,.0f} | {pct:+.1%} |")
+        if pct < -THRESHOLD:
+            # GitHub annotation: visible on the run page, non-gating.
+            print(
+                f"::warning title=perf regression::{label} regressed "
+                f"{pct:+.1%} vs the last full entry "
+                f"({full.get('recorded_at', '?')}); shared-runner noise "
+                "is possible — rerun `repro perf` locally to confirm"
+            )
+    lines.append("")
+    lines.append(
+        f"_full entry: {full.get('label')} @ {full.get('recorded_at', '?')}; "
+        "threshold for a warning: -25% (non-gating)._"
+    )
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

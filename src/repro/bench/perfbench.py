@@ -30,7 +30,7 @@ import platform
 import subprocess
 from datetime import datetime, timezone
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.sim import Event, Kernel
 
@@ -344,8 +344,73 @@ def run_perf(
     return entry
 
 
+#: Quick entries kept after compaction.  CI appends one quick entry per
+#: run, so without a cap the trajectory file grows unboundedly; full
+#: entries are deliberate measurements and are kept forever.
+QUICK_KEEP = 20
+
+
+def _compact(entries: List[Dict]) -> List[Dict]:
+    """Drop all but the newest ``QUICK_KEEP`` quick entries (in place order)."""
+    quick_positions = [i for i, e in enumerate(entries) if e.get("quick")]
+    excess = len(quick_positions) - QUICK_KEEP
+    if excess <= 0:
+        return entries
+    drop = set(quick_positions[:excess])
+    return [e for i, e in enumerate(entries) if i not in drop]
+
+
+def find_comparable(entries: List[Dict], entry: Dict) -> Optional[Dict]:
+    """The most recent prior entry measured like ``entry``.
+
+    Comparable = same machine fingerprint and same quick flag; wall-clock
+    rates across different machines or measurement depths are noise, not
+    a trend.
+    """
+    machine = entry.get("machine")
+    quick = bool(entry.get("quick"))
+    for prior in reversed(entries):
+        if prior is entry:
+            continue
+        if prior.get("machine") == machine and bool(prior.get("quick")) == quick:
+            return prior
+    return None
+
+
+def format_delta(entry: Dict, previous: Optional[Dict]) -> str:
+    """One-line trend vs the previous comparable entry (for CI logs)."""
+    if previous is None:
+        return "perf delta: no comparable prior entry (machine/quick flag)"
+    parts = []
+    for key, label in (
+        ("kernel_events_per_sec", "kernel sleep"),
+        (("macro", "sim_s_per_wall_s"), "macro sim-s/wall-s"),
+    ):
+        if isinstance(key, tuple):
+            new = entry.get(key[0], {}).get(key[1])
+            old = previous.get(key[0], {}).get(key[1])
+        else:
+            new = entry.get(key)
+            old = previous.get(key)
+        if not new or not old:
+            continue
+        pct = (new - old) / old * 100.0
+        parts.append(f"{label} {new:,.0f} ({pct:+.1f}%)")
+    stamp = previous.get("recorded_at", "?")
+    label = previous.get("label") or ("quick" if previous.get("quick") else "full")
+    return (
+        f"perf delta vs {label} @ {stamp}: " + ", ".join(parts)
+        if parts
+        else "perf delta: previous entry has no comparable metrics"
+    )
+
+
 def record(entry: Dict, path: str = DEFAULT_PATH) -> Dict:
-    """Append ``entry`` to the trajectory file (created if missing)."""
+    """Append ``entry`` to the trajectory file (created if missing).
+
+    Quick entries are compacted to the newest :data:`QUICK_KEEP`; full
+    entries are kept forever.
+    """
     doc = {"schema": SCHEMA_VERSION, "entries": []}
     if os.path.exists(path):
         with open(path) as fh:
@@ -356,6 +421,7 @@ def record(entry: Dict, path: str = DEFAULT_PATH) -> Dict:
             # Keep unknown-schema history around instead of clobbering.
             doc["entries"] = list(loaded.get("entries", []))
     doc["entries"].append(entry)
+    doc["entries"] = _compact(doc["entries"])
     parent = os.path.dirname(os.fspath(path))
     if parent:
         os.makedirs(parent, exist_ok=True)

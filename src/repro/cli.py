@@ -331,11 +331,25 @@ def _report(quick: bool, out: str) -> str:
 
 
 def _perf(quick: bool, workers, out: str, label=None) -> str:
-    from repro.bench.perfbench import format_entry, record, run_perf
+    from repro.bench.perfbench import (
+        find_comparable,
+        format_delta,
+        format_entry,
+        record,
+        run_perf,
+    )
 
     entry = run_perf(quick=quick, workers=workers, label=label)
-    record(entry, path=out)
-    return format_entry(entry) + f"\n[entry appended to {out}]"
+    doc = record(entry, path=out)
+    # The appended entry is last; the delta line makes regressions
+    # visible directly in CI logs instead of only in the artifact.
+    previous = find_comparable(doc["entries"][:-1], entry)
+    return (
+        format_entry(entry)
+        + "\n"
+        + format_delta(entry, previous)
+        + f"\n[entry appended to {out}]"
+    )
 
 
 EXPERIMENTS: Dict[str, Callable[..., str]] = {

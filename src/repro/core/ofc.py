@@ -25,8 +25,11 @@ from repro.faas.platform import FaaSPlatform, PlatformConfig
 from repro.faas.records import InvocationRecord, InvocationRequest
 from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import NoSuchKey
+from repro.kvcache.objects import LOCAL_READ
 from repro.obs.registry import MetricsRegistry
+from repro.sim import fastpath
 from repro.sim.kernel import Kernel
+from repro.sim.latency import OFC_CONTROL_OVERHEAD, PLATFORM_OVERHEAD
 from repro.sim.rng import RngRegistry
 from repro.storage.errors import StoreUnavailable
 from repro.storage.latency_profiles import LatencyProfile, SWIFT_PROFILE
@@ -55,6 +58,28 @@ class OFCPlatform:
         self.kernel = kernel or Kernel()
         self.config = config or OFCConfig()
         self.rng = RngRegistry(seed)
+        # Streams whose every draw is one fixed lognormal jitter config
+        # are served batched (pre-drawn vectors, bit-identical — see
+        # repro.sim.rng).  "rsds" (profile-dependent jitters) and
+        # "platform" (shared with invokers: COLD_START's sigma differs)
+        # mix parameters and must stay scalar.
+        if fastpath.rng_batching_enabled():
+            cache_rng = self.rng.batched_stream(
+                "cache", "lognormal", mean=0.0, sigma=LOCAL_READ.jitter
+            )
+            predictor_rng = self.rng.batched_stream(
+                "predictor",
+                "lognormal",
+                mean=0.0,
+                sigma=OFC_CONTROL_OVERHEAD.jitter,
+            )
+            persistor_rng = self.rng.batched_stream(
+                "persistor", "lognormal", mean=0.0, sigma=PLATFORM_OVERHEAD.jitter
+            )
+        else:
+            cache_rng = self.rng.stream("cache")
+            predictor_rng = self.rng.stream("predictor")
+            persistor_rng = self.rng.stream("persistor")
         self.store = ObjectStore(
             self.kernel, profile=rsds_profile, rng=self.rng.stream("rsds")
         )
@@ -69,7 +94,7 @@ class OFCPlatform:
             self.kernel,
             platform_config.node_ids,
             replication_factor=self.config.replication_factor,
-            rng=self.rng.stream("cache"),
+            rng=cache_rng,
             max_object_size=self.config.max_cacheable_bytes,
         )
         self.metrics = OFCMetrics()
@@ -94,13 +119,13 @@ class OFCPlatform:
             self.trainer,
             store=self.store,
             config=self.config,
-            rng=self.rng.stream("predictor"),
+            rng=predictor_rng,
         )
         self.persistor = PersistorService(
             self.kernel,
             self.store,
             self.cluster,
-            rng=self.rng.stream("persistor"),
+            rng=persistor_rng,
             on_persisted=self._on_persisted,
         )
         self.agents: Dict[str, CacheAgent] = {

@@ -83,11 +83,15 @@ class RcLibClient(DataClient):
         request = getattr(self.record, "request", None)
         return getattr(request, "tenant", "") or ""
 
-    def _admit(self, size: int) -> bool:
+    def _admit(self, size: int, tenant: Optional[str] = None) -> bool:
         """Cross-tenant admission check for caching ``size`` bytes."""
-        if self.tenancy is None or not self._tenant:
+        if self.tenancy is None:
             return True
-        return self.tenancy.admit(self._tenant, size, self.cluster.total_capacity)
+        if tenant is None:
+            tenant = self._tenant
+        if not tenant:
+            return True
+        return self.tenancy.admit(tenant, size, self.cluster.total_capacity)
 
     # -- helpers ------------------------------------------------------------
 
@@ -140,15 +144,22 @@ class RcLibClient(DataClient):
                     self.stats.hits_local += 1
                 else:
                     self.stats.hits_remote += 1
-                if self.tenancy is not None and self._tenant:
-                    self.tenancy.record_hit(self._tenant, cached.size)
+                tenancy = self.tenancy
+                if tenancy is not None:
+                    tenant = self._tenant  # two getattrs; resolve once
+                    if tenant:
+                        tenancy.record_hit(tenant, cached.size)
                 return self._as_stored_object(key, cached)
         obj = yield from self.store.get(bucket, name, internal=True)
         if self._should_cache:
             self.stats.misses += 1
-            if self.tenancy is not None and self._tenant:
-                self.tenancy.record_miss(self._tenant, obj.meta.size)
-            if self._cacheable(obj.meta.size) and self._admit(obj.meta.size):
+            tenancy = self.tenancy
+            tenant = self._tenant if tenancy is not None else ""
+            if tenancy is not None and tenant:
+                tenancy.record_miss(tenant, obj.meta.size)
+            if self._cacheable(obj.meta.size) and self._admit(
+                obj.meta.size, tenant
+            ):
                 self._populate_async(key, obj)
         else:
             self.stats.uncached_reads += 1
@@ -212,7 +223,8 @@ class RcLibClient(DataClient):
             if intermediate
             else self._cacheable(size)
         )
-        if cacheable and not self._admit(size):
+        tenant = self._tenant
+        if cacheable and not self._admit(size, tenant):
             # Over the tenant's cache entitlement: the write degrades to
             # a direct RSDS put, exactly like a size-ineligible object.
             cacheable = False
@@ -266,7 +278,7 @@ class RcLibClient(DataClient):
             "intermediate": intermediate,
             "pipeline_id": pipeline_id,
             "final": not intermediate,
-            "tenant": self._tenant,
+            "tenant": tenant,
             "user_meta": dict(user_meta or {}),
         }
         try:

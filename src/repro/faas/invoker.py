@@ -124,8 +124,11 @@ class InvocationContext:
         """
         if duration < 0 or footprint_mb < 0:
             raise ValueError("duration and footprint must be non-negative")
-        span = self.kernel.tracer.start(
-            "faas.compute", function=self.record.request.function
+        tracer = self.kernel.tracer
+        span = (
+            tracer.start("faas.compute", function=self.record.request.function)
+            if tracer.enabled
+            else None
         )
         start = self.kernel.now
         slices = COMPUTE_SLICES if duration > 0 else 1
@@ -145,14 +148,16 @@ class InvocationContext:
                     self.record.peak_memory_mb = max(
                         self.record.peak_memory_mb, self.sandbox.memory_limit_mb
                     )
-                    span.finish(status="oom")
+                    if span is not None:
+                        span.finish(status="oom")
                     raise OOMKilled(
                         f"{self.sandbox.sandbox_id}: {usage:.0f} MB > "
                         f"{self.sandbox.memory_limit_mb:.0f} MB limit",
                         needed_mb=footprint_mb,
                     )
         self.record.phases.transform += self.kernel.now - start
-        span.finish(status="ok")
+        if span is not None:
+            span.finish(status="ok")
 
 
 class Invoker:
@@ -300,11 +305,18 @@ class Invoker:
                     f"{memory_mb:.0f} MB"
                 )
         self.stats.resizes += 1
+        if self.kernel._tracing:
+            # Keep the process (and its span) under tracing.
+            def background_update():
+                yield DOCKER_UPDATE.sample(self.rng)
 
-        def background_update():
-            yield DOCKER_UPDATE.sample(self.rng)
-
-        self.kernel.process(background_update(), name="docker-update")
+            self.kernel.process(background_update(), name="docker-update")
+        else:
+            # Slot-identical fire-and-forget sleep: the delay thunk runs
+            # at the bootstrap-resume position, so the RNG draw lands at
+            # the same point in the stream as the generator body did.
+            rng = self.rng
+            self.kernel.call_later(lambda: DOCKER_UPDATE.sample(rng))
 
     def destroy_sandbox(self, sandbox: Sandbox, reaped: bool = False) -> None:
         if not sandbox.alive:
@@ -325,8 +337,24 @@ class Invoker:
         else:
             timeout_s = self.keepalive_s
 
-        def reaper():
-            yield timeout_s
+        if self.kernel._tracing:
+            # Keep the process (and its span) under tracing.
+            def reaper():
+                yield timeout_s
+                if (
+                    sandbox.alive
+                    and sandbox.idle
+                    and sandbox.use_generation == generation
+                ):
+                    self.destroy_sandbox(sandbox, reaped=True)
+
+            self.kernel.process(reaper(), name=f"reap-{sandbox.sandbox_id}")
+            return
+
+        # One reap timer per invocation end is hot; call_later replaces
+        # the generator+Process with two plain events on the exact same
+        # queue slots (bit-identical schedules).
+        def reap(_event):
             if (
                 sandbox.alive
                 and sandbox.idle
@@ -334,7 +362,7 @@ class Invoker:
             ):
                 self.destroy_sandbox(sandbox, reaped=True)
 
-        self.kernel.process(reaper(), name=f"reap-{sandbox.sandbox_id}")
+        self.kernel.call_later(lambda: timeout_s, reap)
 
     # -- execution ----------------------------------------------------------------
 
@@ -351,8 +379,11 @@ class Invoker:
         Raises :class:`OOMKilled` (sandbox destroyed, caller retries) or
         :class:`ResourceExhausted` (no memory for the sandbox).
         """
-        span = self.kernel.tracer.start(
-            "faas.execute", node=self.node_id, function=spec.key
+        tracer = self.kernel.tracer
+        span = (
+            tracer.start("faas.execute", node=self.node_id, function=spec.key)
+            if tracer.enabled
+            else None
         )
         try:
             sandbox = self.find_sandbox(spec.key, preferred_mb=memory_mb)
@@ -385,15 +416,18 @@ class Invoker:
                 self.destroy_sandbox(sandbox)
                 raise
         except OOMKilled:
-            span.finish(status="oom")
+            if span is not None:
+                span.finish(status="oom")
             raise
         except BaseException:
-            span.finish(status="error")
+            if span is not None:
+                span.finish(status="error")
             raise
         record.finished_at = self.kernel.now
         # The final limit may have been raised mid-flight by the Monitor.
         record.memory_limit_mb = sandbox.memory_limit_mb
         sandbox.end_invocation(self.kernel.now)
         self._schedule_reap(sandbox)
-        span.finish(status="ok", cold=record.cold_start)
+        if span is not None:
+            span.finish(status="ok", cold=record.cold_start)
         return record

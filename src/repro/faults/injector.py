@@ -62,6 +62,11 @@ class FaultInjector:
         # Wire the shared fault state into the instrumented components.
         ofc.store.faults = self.state
         ofc.cluster.faults = self.state
+        # Fault runs stay on the kernel's generic (reference) dispatch
+        # loop until a specialized faulted variant is parity gated — see
+        # repro.sim.fastpath.  The schedules are bit-identical either
+        # way; this keeps the failure path on the most-inspected code.
+        self.kernel.use_generic_dispatch()
         self.stats = FaultInjectorStats()
         registry = getattr(ofc, "obs", None)
         if registry is not None:

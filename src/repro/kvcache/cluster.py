@@ -96,16 +96,20 @@ class CacheCluster:
     def server(self, node_id: str):
         return self.coordinator.server(node_id)
 
-    def _delay(self, model, nbytes: int = 0):
-        return self.kernel.timeout(model.sample(self.rng, nbytes))
+    def _delay(self, model, nbytes: int = 0) -> float:
+        # Bare-delay float for the caller to yield: bit-identical to the
+        # kernel.timeout() it replaced (same queue slot, same sequence
+        # number — see Process._resume's float arm) without the Timeout
+        # allocation and callback registration per cache op.
+        return model.sample(self.rng, nbytes)
 
-    def _remote_delay(self, model, nbytes: int = 0):
+    def _remote_delay(self, model, nbytes: int = 0) -> float:
         """Delay for an inter-node op; scaled during slow-network faults."""
         duration = model.sample(self.rng, nbytes)
         faults = self.faults
         if faults is not None:
             duration *= faults.network_latency_scale
-        return self.kernel.timeout(duration)
+        return duration
 
     @property
     def total_capacity(self) -> int:
@@ -183,10 +187,15 @@ class CacheCluster:
         )
         if master_id is None:
             raise CapacityExceeded(f"no server can fit {size} bytes")
-        span = self.kernel.tracer.start(
-            "kvcache.put",
-            caller=caller,
-            placement="local" if master_id == caller else "remote",
+        tracer = self.kernel.tracer
+        span = (
+            tracer.start(
+                "kvcache.put",
+                caller=caller,
+                placement="local" if master_id == caller else "remote",
+            )
+            if tracer.enabled
+            else None
         )
         master = self.coordinator.server(master_id)
         version = 1
@@ -254,7 +263,8 @@ class CacheCluster:
         else:
             self._under_replicated.discard(key)
         self.stats.puts += 1
-        span.finish(bytes=size)
+        if span is not None:
+            span.finish(bytes=size)
         return master_id
 
     def get(self, key: str, caller: str) -> Generator[Any, Any, CacheObject]:
@@ -266,10 +276,14 @@ class CacheCluster:
             if tracer.enabled:
                 tracer.start("kvcache.get", caller=caller).finish(status="miss")
             raise NoSuchKey(key)
-        span = tracer.start(
-            "kvcache.get",
-            caller=caller,
-            status="local" if master_id == caller else "remote",
+        span = (
+            tracer.start(
+                "kvcache.get",
+                caller=caller,
+                status="local" if master_id == caller else "remote",
+            )
+            if tracer.enabled
+            else None
         )
         master = self.coordinator.server(master_id)
         obj = master.master_get(key)
@@ -283,7 +297,8 @@ class CacheCluster:
             self.stats.gets_local += 1
         else:
             self.stats.gets_remote += 1
-        span.finish(bytes=obj.size)
+        if span is not None:
+            span.finish(bytes=obj.size)
         return CacheObject(
             key=obj.key,
             value=obj.value,
@@ -336,7 +351,12 @@ class CacheCluster:
         master_id = self.coordinator.master_of(key)
         if master_id is None:
             raise NoSuchKey(key)
-        span = self.kernel.tracer.start("kvcache.delete", caller=caller)
+        tracer = self.kernel.tracer
+        span = (
+            tracer.start("kvcache.delete", caller=caller)
+            if tracer.enabled
+            else None
+        )
         master = self.coordinator.server(master_id)
         if master.master_has(key):
             removed = master.master_get(key)
@@ -352,7 +372,8 @@ class CacheCluster:
         model = LOCAL_WRITE if master_id == caller else REMOTE_WRITE
         yield self._delay(model)
         self.stats.deletes += 1
-        span.finish()
+        if span is not None:
+            span.finish()
 
     # -- scaling primitives -----------------------------------------------------------
 

@@ -1,0 +1,329 @@
+"""Code-generated dispatch loops for :class:`repro.sim.kernel.Kernel`.
+
+This is the kernel-side counterpart of :mod:`repro.ml.compiled`: the
+event-dispatch loop is emitted as Python source once at import time,
+``exec``-compiled, and installed per kernel at construction.  Two
+specializations over the generic loop:
+
+* the heap/FIFO drain, the ``_TRIGGERED`` delivery arm and the process
+  resume are fused into one flat function — a process wake runs the
+  generator ``send`` directly instead of dispatching through
+  ``Event._run_callbacks`` → ``Process._resume`` (two frames per event
+  saved);
+* **direct resume**: when a resumed process yields a positive delay and
+  its wake instant is strictly earlier than everything on the heap
+  (with the FIFO empty), the loop advances the clock and resumes the
+  generator immediately — no heap push/pop, no sequence number.
+
+Both are provably order-preserving, so schedules are bit-identical to
+the generic loop (CI runs the bench gate with the fast path forced on
+and off and diffs the exported metrics):
+
+* the fused arms execute the exact statements of the generic loop, in
+  the same order;
+* direct resume fires only when the woken process would be the next
+  occurrence regardless of its sequence number (strictly earliest wake
+  time, empty FIFO), and nothing else can run between the skipped push
+  and the skipped pop, so no observer exists for the elided state
+  (``_wake`` bookkeeping, ``_target`` reset, heap entry).  Skipping
+  the sequence-number mint is safe because sequence numbers only break
+  ties between co-resident heap entries and the skipped mint leaves
+  every other mint in the same relative order.
+
+Variant selection happens once at kernel construction (the same policy
+:class:`~repro.sim.kernel._TracedProcess` uses): kernels with tracing
+enabled keep the generic loop, because the fused resume would skip the
+per-process span bookkeeping.  Fault tooling calls
+:meth:`~repro.sim.kernel.Kernel.use_generic_dispatch` for the same
+reason — not because the fast path misbehaves under faults (the fault
+state lives on the components, not the kernel), but so fault runs stay
+on the reference loop until a specialized faulted variant is parity
+gated.
+
+Opt out globally with ``REPRO_SIM_FASTPATH=0`` (or ``set_enabled``),
+which also disables the batched-RNG wiring keyed off
+:func:`rng_batching_enabled` so "off" is the exact pre-fast-path
+system.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "enabled",
+    "set_enabled",
+    "rng_batching_enabled",
+    "compile_dispatch",
+    "make_dispatch",
+    "dispatch_source",
+]
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_SIM_FASTPATH", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether new kernels install the generated dispatch loop."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Toggle the fast path for kernels built after this call."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+def rng_batching_enabled() -> bool:
+    """Whether single-distribution RNG streams are served batched.
+
+    Rides the same knob as the dispatch loop so forcing
+    ``REPRO_SIM_FASTPATH=0`` yields the exact generic system.
+    """
+    return _ENABLED
+
+
+# ---------------------------------------------------------------------------
+# Source templates.
+# ---------------------------------------------------------------------------
+
+#: Fused resume: advance the generator until it blocks, schedules a
+#: future wake that something else precedes, or terminates.  Mirrors
+#: ``Process._resume`` statement for statement; ``{limit_guard}``
+#: bounds direct resume by ``run(until=...)``'s limit.  ``event`` is
+#: the process, ``when`` the current instant (updated in place so the
+#: enclosing drain keeps using the advanced clock).
+_RESUME_CHAIN = """\
+kernel._active_process = event
+send = event._send
+while True:
+    try:
+        target = send(None)
+    except StopIteration as stop:
+        kernel._active_process = None
+        event._target = None
+        event._value = stop.value
+        event._state = _TRIGGERED
+        ipush(event)
+        break
+    except Interrupt as interrupt_exc:
+        kernel._active_process = None
+        event._target = None
+        event._exception = interrupt_exc
+        event.defused = False
+        event._state = _TRIGGERED
+        ipush(event)
+        break
+    except BaseException as failure:
+        kernel._active_process = None
+        event._target = None
+        event._exception = failure
+        event.defused = False
+        event._state = _TRIGGERED
+        ipush(event)
+        break
+    cls = target.__class__
+    if cls is float or cls is int:
+        if target < 0:
+            raise SimulationError(f"negative sleep delay: {{target}}")
+        wake = when + target
+        if wake == when:
+            event._wake = when
+            ipush(event)
+            break
+        if not immediate and (not queue or wake < queue[0][0]){limit_guard}:
+            kernel._now = when = wake
+            continue
+        event._wake = wake
+        heappush(queue, (wake, seqn(), event))
+        break
+    try:
+        foreign = target.kernel is not kernel
+    except AttributeError:
+        raise SimulationError(
+            f"process {{event.name!r}} yielded {{target!r}}, "
+            "expected an Event"
+        ) from None
+    if foreign:
+        raise SimulationError("yielded an event from another kernel")
+    event._target = target
+    if target._state != _PROCESSED:
+        callbacks = target.callbacks
+        if callbacks is None:
+            target.callbacks = event._cb
+        elif callbacks.__class__ is list:
+            callbacks.append(event._cb)
+        else:
+            target.callbacks = [callbacks, event._cb]
+    else:
+        target.wait(event._cb)
+    break"""
+
+#: One occurrence: the inlined ``_TRIGGERED`` arm (Event._run_callbacks
+#: without the method call), the ``_PENDING`` arm fused with the resume
+#: chain, and the ``_PROCESSED`` redelivery arm via the method.
+_DISPATCH_ARMS = """\
+state = event._state
+if state == _TRIGGERED:
+    event._state = _PROCESSED
+    callbacks = event.callbacks
+    if callbacks is not None:
+        event.callbacks = None
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                callback(event)
+        else:
+            callbacks(event)
+    exc = event._exception
+    if exc is not None and not event.defused:
+        raise exc
+elif state == _PENDING:
+    if not event._started:
+        event._started = True
+        resumable = True
+    elif event._wake == when:
+        event._wake = -1.0
+        resumable = True
+    else:
+        resumable = False
+    if resumable:
+{resume_chain}
+else:
+    event._run_callbacks()"""
+
+_RUN_TEMPLATE = '''\
+def make_run(kernel):
+    """Specialized ``Kernel.run`` bound to ``kernel``."""
+
+    def run(until=None):
+        if until is not None and until < kernel._now:
+            raise SimulationError(
+                f"until={{until}} is in the past (now={{kernel._now}})"
+            )
+        limit = _INF if until is None else until
+        queue = kernel._queue
+        immediate = kernel._immediate
+        ipush = kernel._ipush
+        seqn = kernel._seqn
+        popleft = immediate.popleft
+        while True:
+            if immediate:
+                when = kernel._now
+                while queue and queue[0][0] == when:
+                    heappop(queue)[2]._run_callbacks()
+            elif queue:
+                entry = heappop(queue)
+                when = entry[0]
+                if when > limit:
+                    heappush(queue, entry)
+                    break
+                kernel._now = when
+                event = entry[2]
+                while True:
+{heap_arms}
+                    if not queue or queue[0][0] != when:
+                        break
+                    event = heappop(queue)[2]
+            else:
+                break
+            while immediate:
+                event = popleft()
+{fifo_arms}
+        if until is not None:
+            kernel._now = max(kernel._now, until)
+
+    return run
+'''
+
+_RUN_UNTIL_TEMPLATE = '''\
+def make_run_until(kernel):
+    """Specialized ``Kernel.run_until`` bound to ``kernel``."""
+
+    def run_until(target_event):
+        queue = kernel._queue
+        immediate = kernel._immediate
+        ipush = kernel._ipush
+        seqn = kernel._seqn
+        popleft = immediate.popleft
+        while target_event._state != _PROCESSED:
+            if queue and (not immediate or queue[0][0] == kernel._now):
+                entry = heappop(queue)
+                when = entry[0]
+                kernel._now = when
+                event = entry[2]
+            elif immediate:
+                event = popleft()
+                when = kernel._now
+            else:
+                raise SimulationError(
+                    "queue drained before the awaited event triggered"
+                )
+{arms}
+        return target_event.value
+
+    return run_until
+'''
+
+
+def _indent(block: str, pad: str) -> str:
+    return "\n".join(
+        (pad + line) if line else line for line in block.split("\n")
+    )
+
+
+def dispatch_source() -> str:
+    """The generated module source (exposed for tests/inspection)."""
+    bounded_chain = _RESUME_CHAIN.format(limit_guard=" and wake <= limit")
+    free_chain = _RESUME_CHAIN.format(limit_guard="")
+    run_arms = _DISPATCH_ARMS.format(
+        resume_chain=_indent(bounded_chain, " " * 8)
+    )
+    until_arms = _DISPATCH_ARMS.format(
+        resume_chain=_indent(free_chain, " " * 8)
+    )
+    run_src = _RUN_TEMPLATE.format(
+        heap_arms=_indent(run_arms, " " * 20),
+        fifo_arms=_indent(run_arms, " " * 16),
+    )
+    until_src = _RUN_UNTIL_TEMPLATE.format(
+        arms=_indent(until_arms, " " * 12),
+    )
+    return run_src + "\n\n" + until_src
+
+
+_FACTORIES: Optional[tuple] = None
+
+
+def compile_dispatch(kernel_internals: dict) -> None:
+    """Exec-compile the dispatch loops against the kernel's internals.
+
+    Called once from the bottom of :mod:`repro.sim.kernel`;
+    ``kernel_internals`` supplies ``heappush``/``heappop``, the event
+    state constants, ``SimulationError`` and ``Interrupt`` so this
+    module never imports the kernel (no circular import).
+    """
+    global _FACTORIES
+    namespace = dict(kernel_internals)
+    exec(  # noqa: S102 - the source is generated above, not user input
+        compile(dispatch_source(), "<sim-fastpath>", "exec"), namespace
+    )
+    _FACTORIES = (namespace["make_run"], namespace["make_run_until"])
+
+
+def make_dispatch(kernel) -> Optional[tuple]:
+    """Specialized ``(run, run_until)`` for ``kernel``, or ``None``.
+
+    Variant selection happens here, once per kernel: traced kernels
+    (and anything after ``use_generic_dispatch``) stay on the generic
+    loop.
+    """
+    if not _ENABLED or _FACTORIES is None or kernel._tracing:
+        return None
+    make_run, make_run_until = _FACTORIES
+    return make_run(kernel), make_run_until(kernel)

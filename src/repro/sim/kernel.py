@@ -551,6 +551,8 @@ class Kernel:
         "_active_process",
         "tracer",
         "_tracing",
+        "_fast_run",
+        "_fast_run_until",
     )
 
     def __init__(self):
@@ -570,6 +572,24 @@ class Kernel:
         self.tracer = tracer_for_clock(lambda: self._now)
         # Cached once: picks the traced/untraced Process class below.
         self._tracing = self.tracer.enabled
+        # Generated dispatch loops (see repro.sim.fastpath): selected
+        # once per kernel; None routes run()/run_until() through the
+        # generic bodies below (traced kernels, knob off).
+        dispatch = _fastpath.make_dispatch(self)
+        if dispatch is None:
+            self._fast_run = None
+            self._fast_run_until = None
+        else:
+            self._fast_run, self._fast_run_until = dispatch
+
+    def use_generic_dispatch(self) -> None:
+        """Route this kernel through the generic (reference) loop.
+
+        Fault tooling calls this so faulted runs stay on the reference
+        dispatch; harmless when the fast path was never installed.
+        """
+        self._fast_run = None
+        self._fast_run_until = None
 
     @property
     def now(self) -> float:
@@ -642,6 +662,55 @@ class Kernel:
             return _TracedProcess(self, generator, name=name)
         return Process(self, generator, name=name)
 
+    def call_later(
+        self,
+        delay_fn: Callable[[], float],
+        callback: Optional[Callable[[Event], None]] = None,
+        _new=Event.__new__,
+        _cls=Event,
+    ) -> None:
+        """Run ``callback`` after ``delay_fn()`` sim-seconds, cheaply.
+
+        Drop-in replacement for the fire-and-forget pattern
+
+            def task():
+                yield delay_fn()
+                callback_body()
+            kernel.process(task())  # handle discarded
+
+        without the generator, Process, or two resume frames — while
+        consuming *exactly* the queue slots of that process, so
+        schedules stay bit-identical:
+
+        * an arming event on the FIFO **now**, whose callback runs at
+          the process's bootstrap-resume position and evaluates
+          ``delay_fn`` there (RNG draws land at the same point in the
+          stream as the generator body would draw them);
+        * the fire event on the heap (or FIFO for a zero/underflowed
+          delay), minting its sequence number at that same position —
+          ``callback`` runs where the post-sleep body would.
+
+        The generic process also ipushes a no-op termination event; with
+        the handle discarded it has no callbacks and no observable
+        effect, so it is elided.  Exceptions from ``callback`` surface
+        out of ``run()`` at the wake instant, like a process failure.
+        """
+        kernel = self
+
+        def _arm(_event: Event) -> None:
+            fire = kernel.timeout(delay_fn())
+            if callback is not None:
+                fire.callbacks = callback
+
+        arming = _new(_cls)
+        arming.kernel = kernel
+        arming.callbacks = _arm
+        arming._state = _TRIGGERED
+        arming._value = None
+        arming._exception = None
+        arming.defused = False
+        self._ipush(arming)
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
@@ -668,6 +737,9 @@ class Kernel:
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if the queue drains earlier.
         """
+        fast = self._fast_run
+        if fast is not None:
+            return fast(until)
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
         limit = _INF if until is None else until
@@ -770,6 +842,9 @@ class Kernel:
         timers, background persistors, …) is left on the queue, so the
         clock does not race ahead of the event being waited on.
         """
+        fast = self._fast_run_until
+        if fast is not None:
+            return fast(event)
         queue = self._queue
         immediate = self._immediate
         while event._state != _PROCESSED:
@@ -816,3 +891,24 @@ class Kernel:
                 f"process {proc.name!r} deadlocked (queue drained while waiting)"
             )
         return proc.value
+
+
+# ---------------------------------------------------------------------------
+# Generated dispatch (see repro.sim.fastpath).  Imported last so the
+# fastpath module can be handed this module's internals without a
+# circular import; the loops compile once per interpreter and install
+# per kernel in Kernel.__init__.
+from repro.sim import fastpath as _fastpath  # noqa: E402
+
+_fastpath.compile_dispatch(
+    {
+        "heappop": heappop,
+        "heappush": heappush,
+        "_PENDING": _PENDING,
+        "_TRIGGERED": _TRIGGERED,
+        "_PROCESSED": _PROCESSED,
+        "_INF": _INF,
+        "SimulationError": SimulationError,
+        "Interrupt": Interrupt,
+    }
+)

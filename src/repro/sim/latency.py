@@ -19,6 +19,10 @@ KB = 1024
 MB = 1024 * 1024
 GB = 1024 * 1024 * 1024
 
+#: Jitter-factor clip bounds (see :class:`LatencyModel.jitter`).
+_JITTER_FLOOR = 1 / 3
+_JITTER_CEIL = 3.0
+
 
 @dataclass(frozen=True)
 class LatencyModel:
@@ -51,9 +55,15 @@ class LatencyModel:
         """Draw one duration for an operation on ``nbytes``."""
         duration = self.mean(nbytes)
         if self.jitter > 0.0 and rng is not None:
-            factor = float(
-                np.clip(rng.lognormal(mean=0.0, sigma=self.jitter), 1 / 3, 3.0)
-            )
+            # min/max instead of np.clip: identical on scalars (clip is
+            # max-then-min) without the ufunc machinery per draw.  `rng`
+            # may be a BatchedStream serving pre-drawn lognormals — the
+            # call signature is the contract it validates against.
+            factor = rng.lognormal(mean=0.0, sigma=self.jitter)
+            if factor < _JITTER_FLOOR:
+                factor = _JITTER_FLOOR
+            elif factor > _JITTER_CEIL:
+                factor = _JITTER_CEIL
             duration *= factor
         return duration
 

@@ -3,13 +3,134 @@
 Every stochastic component of the simulation draws from its own named
 stream so that (a) runs are reproducible for a given seed and (b) adding
 randomness to one component never perturbs another component's draws.
+
+Streams whose *every* draw is one fixed (distribution, parameters)
+configuration can be served through :class:`BatchedStream`, which
+pre-draws vectors and hands out scalars from a cursor.  numpy's
+vectorized draws consume the underlying bit stream exactly like repeated
+scalar draws for the distributions allowed here (asserted per
+distribution in ``tests/sim/test_rng_batched.py``), so batching is
+bit-identical — provided nothing else draws from the wrapped generator.
+Streams that mix distributions or parameters (workload generators, the
+store's profile-dependent jitters, the platform/invoker stream) must
+stay scalar; :class:`RngRegistry` enforces that a name is handed out
+either raw or batched, never both.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
+
+#: Pre-draw granularity.  Large enough to amortize the vectorized call,
+#: small enough that an unused tail costs nothing noticeable.
+DEFAULT_BATCH = 1024
+
+
+class BatchedStream:
+    """Cursor over pre-drawn vectors of ONE fixed-parameter distribution.
+
+    Exposes the distribution's draw method under its numpy name (e.g.
+    ``stream.lognormal(mean=0.0, sigma=0.05)``) so call sites keep the
+    ``numpy.random.Generator`` calling convention; the arguments are
+    validated against the batch configuration on every call and a
+    mismatch raises — a silent scalar fallback could not be bit-identical
+    once a vector has been prefetched.
+    """
+
+    #: Distributions verified batchable (vectorized == sequential draws).
+    KINDS = (
+        "random",
+        "uniform",
+        "exponential",
+        "pareto",
+        "lognormal",
+        "standard_normal",
+        "normal",
+        "geometric",
+    )
+
+    __slots__ = ("generator", "kind", "params", "batch", "_buf", "_pos", "_end")
+
+    def __init__(
+        self,
+        generator: np.random.Generator,
+        kind: str,
+        batch: int = DEFAULT_BATCH,
+        **params: float,
+    ):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"distribution {kind!r} is not verified batchable "
+                f"(allowed: {', '.join(self.KINDS)})"
+            )
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.generator = generator
+        self.kind = kind
+        self.params = dict(params)
+        self.batch = int(batch)
+        self._buf: List[float] = []
+        self._pos = 0
+        self._end = 0
+
+    def draw(self) -> float:
+        """Next scalar of the configured distribution."""
+        pos = self._pos
+        if pos >= self._end:
+            # .tolist() converts to Python floats once per batch: the
+            # values are bitwise what sequential scalar draws return.
+            self._buf = getattr(self.generator, self.kind)(
+                size=self.batch, **self.params
+            ).tolist()
+            self._end = len(self._buf)
+            pos = 0
+        self._pos = pos + 1
+        return self._buf[pos]
+
+    def _mismatch(self, kind: str, params: dict) -> RuntimeError:
+        return RuntimeError(
+            f"BatchedStream serves {self.kind}({self.params}); "
+            f"refusing {kind}({params}) — draws are prefetched, so a "
+            "scalar fallback would break bit-identity. Use a raw stream "
+            "for mixed-distribution draw sites."
+        )
+
+    # -- numpy.random.Generator-style façade -------------------------------
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        if self.kind != "lognormal" or self.params != {
+            "mean": mean,
+            "sigma": sigma,
+        }:
+            raise self._mismatch("lognormal", {"mean": mean, "sigma": sigma})
+        return self.draw()
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        if self.kind != "uniform" or self.params != {"low": low, "high": high}:
+            raise self._mismatch("uniform", {"low": low, "high": high})
+        return self.draw()
+
+    def exponential(self, scale: float = 1.0) -> float:
+        if self.kind != "exponential" or self.params != {"scale": scale}:
+            raise self._mismatch("exponential", {"scale": scale})
+        return self.draw()
+
+    def pareto(self, a: float) -> float:
+        if self.kind != "pareto" or self.params != {"a": a}:
+            raise self._mismatch("pareto", {"a": a})
+        return self.draw()
+
+    def random(self) -> float:
+        if self.kind != "random":
+            raise self._mismatch("random", {})
+        return self.draw()
+
+    def standard_normal(self) -> float:
+        if self.kind != "standard_normal":
+            raise self._mismatch("standard_normal", {})
+        return self.draw()
 
 
 class RngRegistry:
@@ -18,6 +139,14 @@ class RngRegistry:
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._streams: Dict[str, np.random.Generator] = {}
+        self._batched: Dict[str, BatchedStream] = {}
+
+    def _seeded(self, name: str) -> np.random.Generator:
+        seed_seq = np.random.SeedSequence(
+            entropy=self.seed,
+            spawn_key=tuple(name.encode("utf-8")),
+        )
+        return np.random.default_rng(seed_seq)
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the stream for ``name``, creating it on first use.
@@ -25,13 +154,45 @@ class RngRegistry:
         The stream's seed is derived from (registry seed, name) so the
         same name always yields the same sequence for a given seed.
         """
-        if name not in self._streams:
-            seed_seq = np.random.SeedSequence(
-                entropy=self.seed,
-                spawn_key=tuple(name.encode("utf-8")),
+        if name in self._batched:
+            raise RuntimeError(
+                f"stream {name!r} is served batched; drawing from the "
+                "raw generator would desynchronize the prefetched cursor"
             )
-            self._streams[name] = np.random.default_rng(seed_seq)
+        if name not in self._streams:
+            self._streams[name] = self._seeded(name)
         return self._streams[name]
+
+    def batched_stream(
+        self,
+        name: str,
+        kind: str,
+        batch: int = DEFAULT_BATCH,
+        **params: float,
+    ) -> BatchedStream:
+        """A :class:`BatchedStream` over the named stream.
+
+        Only valid for streams whose every draw uses this one
+        configuration; the registry refuses to also hand out the raw
+        generator for ``name`` (and vice versa) because interleaved
+        direct draws would break the cursor's bit-identity.
+        """
+        existing = self._batched.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.params != params:
+                raise RuntimeError(
+                    f"stream {name!r} already batched as "
+                    f"{existing.kind}({existing.params})"
+                )
+            return existing
+        if name in self._streams:
+            raise RuntimeError(
+                f"stream {name!r} was already handed out raw; batching it "
+                "now would desynchronize earlier scalar draws"
+            )
+        wrapped = BatchedStream(self._seeded(name), kind, batch, **params)
+        self._batched[name] = wrapped
+        return wrapped
 
     def fork(self, salt: int) -> "RngRegistry":
         """A registry whose streams are all independent of this one's."""

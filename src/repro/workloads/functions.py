@@ -50,8 +50,14 @@ def _truth_rng(seed: int, request_id: int) -> np.random.Generator:
 def _noisy(value_mb: float, rng: Optional[np.random.Generator]) -> float:
     if rng is None:
         return value_mb
-    noisy = value_mb * (1.0 + rng.normal(0.0, NOISE_MUL))
-    noisy += rng.normal(0.0, NOISE_ADD_MB)
+    # One vectorized standard_normal(2) instead of two scalar normal()
+    # calls: numpy draws normal(mu, sigma) as mu + sigma * N(0,1) from
+    # the same bit stream, so the values (and stream position) are
+    # bitwise what the two scalar draws returned; .tolist() keeps the
+    # Python-float type downstream consumers (JSON export) expect.
+    mul_z, add_z = rng.standard_normal(2).tolist()
+    noisy = value_mb * (1.0 + mul_z * NOISE_MUL)
+    noisy += add_z * NOISE_ADD_MB
     return max(1.0, noisy)
 
 
@@ -159,7 +165,7 @@ class WandBlur(_ImageFunction):
     fixed_s = 0.015
 
     def sample_args(self, rng):
-        return {"sigma": float(rng.choice([0.5, 1.0, 2.0, 3.0, 4.5, 6.0]))}
+        return {"sigma": (0.5, 1.0, 2.0, 3.0, 4.5, 6.0)[rng.integers(0, 6)]}
 
     def _work_copies(self, media, args):
         # Gaussian kernel buffers grow stepwise with the radius; the
@@ -178,7 +184,7 @@ class WandResize(_ImageFunction):
     arg_names = ["scale"]
 
     def sample_args(self, rng):
-        return {"scale": float(rng.choice([0.25, 0.5, 0.75, 1.0, 1.5, 2.0]))}
+        return {"scale": (0.25, 0.5, 0.75, 1.0, 1.5, 2.0)[rng.integers(0, 6)]}
 
     def _work_copies(self, media, args):
         scale = float(args.get("scale", 1.0))
@@ -204,7 +210,7 @@ class WandRotate(_ImageFunction):
     arg_names = ["degrees"]
 
     def sample_args(self, rng):
-        return {"degrees": float(rng.choice([15, 45, 90, 180, 270]))}
+        return {"degrees": (15.0, 45.0, 90.0, 180.0, 270.0)[rng.integers(0, 5)]}
 
     def _work_copies(self, media, args):
         degrees = float(args.get("degrees", 90.0)) % 180.0
@@ -222,7 +228,7 @@ class WandDenoise(_ImageFunction):
     fixed_s = 0.011
 
     def sample_args(self, rng):
-        return {"strength": float(rng.choice([0.5, 1.0, 2.0, 3.0]))}
+        return {"strength": (0.5, 1.0, 2.0, 3.0)[rng.integers(0, 4)]}
 
     def _work_copies(self, media, args):
         strength = float(args.get("strength", 1.0))
@@ -240,7 +246,7 @@ class WandEdge(_ImageFunction):
     fixed_s = 0.018
 
     def sample_args(self, rng):
-        return {"radius": float(rng.choice([1.0, 2.0, 3.0, 5.0]))}
+        return {"radius": (1.0, 2.0, 3.0, 5.0)[rng.integers(0, 4)]}
 
     def _work_copies(self, media, args):
         radius = float(args.get("radius", 1.0))
@@ -255,7 +261,7 @@ class WandSharpen(_ImageFunction):
     arg_names = ["sigma"]
 
     def sample_args(self, rng):
-        return {"sigma": float(rng.choice([0.5, 1.0, 2.0, 4.0]))}
+        return {"sigma": (0.5, 1.0, 2.0, 4.0)[rng.integers(0, 4)]}
 
     def _work_copies(self, media, args):
         sigma = float(args.get("sigma", 1.0))
@@ -282,7 +288,7 @@ class WandCrop(_ImageFunction):
     per_mb_s = 0.002
 
     def sample_args(self, rng):
-        return {"crop_frac": float(rng.choice([0.25, 0.5, 0.75, 0.9]))}
+        return {"crop_frac": (0.25, 0.5, 0.75, 0.9)[rng.integers(0, 4)]}
 
     def _work_copies(self, media, args):
         frac = float(args.get("crop_frac", 0.5))
@@ -316,7 +322,7 @@ class SharpResize(_ImageFunction):
     fixed_s = 0.004
 
     def sample_args(self, rng):
-        return {"target_width": float(rng.choice([64, 128, 256, 512, 1024]))}
+        return {"target_width": (64.0, 128.0, 256.0, 512.0, 1024.0)[rng.integers(0, 5)]}
 
     def _work_copies(self, media, args):
         target = float(args.get("target_width", 256.0))
@@ -334,7 +340,8 @@ class ImgFormatConvert(_ImageFunction):
     arg_names = ["target_format"]
 
     def sample_args(self, rng):
-        return {"target_format": str(rng.choice(media_mod.IMAGE_FORMATS))}
+        formats = media_mod.IMAGE_FORMATS
+        return {"target_format": formats[rng.integers(0, len(formats))]}
 
     def _work_copies(self, media, args):
         # Decode buffer + re-encode buffer whose size depends on the
@@ -366,7 +373,7 @@ class AudioCompress(_AudioFunction):
     arg_names = ["bitrate_kbps"]
 
     def sample_args(self, rng):
-        return {"bitrate_kbps": float(rng.choice([64, 96, 128, 192, 320]))}
+        return {"bitrate_kbps": (64.0, 96.0, 128.0, 192.0, 320.0)[rng.integers(0, 5)]}
 
     def footprint_mb(self, media: AudioDescriptor, args, rng=None):
         decoded = media.decoded_mb
@@ -403,7 +410,7 @@ class SpeechRecognize(_AudioFunction):
     default_booked_mb = 1024.0
 
     def sample_args(self, rng):
-        return {"language": str(rng.choice(["en", "fr", "de", "zh"]))}
+        return {"language": ("en", "fr", "de", "zh")[rng.integers(0, 4)]}
 
     def footprint_mb(self, media: AudioDescriptor, args, rng=None):
         language = args.get("language", "en")
@@ -455,7 +462,8 @@ class VideoTranscode(_VideoFunction):
     default_booked_mb = 2048.0
 
     def sample_args(self, rng):
-        return {"target_codec": str(rng.choice(media_mod.VIDEO_CODECS))}
+        codecs = media_mod.VIDEO_CODECS
+        return {"target_codec": codecs[rng.integers(0, len(codecs))]}
 
     def footprint_mb(self, media: VideoDescriptor, args, rng=None):
         target = args.get("target_codec", "h264")
@@ -482,7 +490,7 @@ class VideoThumbnail(_VideoFunction):
     arg_names = ["n_thumbs"]
 
     def sample_args(self, rng):
-        return {"n_thumbs": float(rng.choice([1, 4, 9, 16]))}
+        return {"n_thumbs": (1.0, 4.0, 9.0, 16.0)[rng.integers(0, 4)]}
 
     def footprint_mb(self, media: VideoDescriptor, args, rng=None):
         n_thumbs = float(args.get("n_thumbs", 4))

@@ -2,7 +2,13 @@
 
 import json
 
-from repro.bench.perfbench import SCHEMA_VERSION, record
+from repro.bench.perfbench import (
+    QUICK_KEEP,
+    SCHEMA_VERSION,
+    find_comparable,
+    format_delta,
+    record,
+)
 
 
 def test_record_creates_missing_parent_directories(tmp_path):
@@ -18,3 +24,56 @@ def test_record_appends_to_existing_trajectory(tmp_path):
     record({"label": "first"}, path=str(path))
     doc = record({"label": "second"}, path=str(path))
     assert [e["label"] for e in doc["entries"]] == ["first", "second"]
+
+
+def test_record_compacts_quick_entries_keeps_full_forever(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    record({"label": "full-0", "quick": False}, path=str(path))
+    for i in range(QUICK_KEEP + 5):
+        doc = record({"label": f"q{i}", "quick": True}, path=str(path))
+    record({"label": "full-1", "quick": False}, path=str(path))
+    doc = record({"label": f"q{QUICK_KEEP + 5}", "quick": True}, path=str(path))
+    quick = [e["label"] for e in doc["entries"] if e.get("quick")]
+    full = [e["label"] for e in doc["entries"] if not e.get("quick")]
+    assert len(quick) == QUICK_KEEP
+    # Oldest quick entries dropped, newest kept, order preserved.
+    assert quick[-1] == f"q{QUICK_KEEP + 5}"
+    assert quick == sorted(quick, key=lambda s: int(s[1:]))
+    # Full entries survive any number of quick appends.
+    assert full == ["full-0", "full-1"]
+    # The on-disk document matches what record() returned.
+    assert json.loads(path.read_text())["entries"] == doc["entries"]
+
+
+def test_find_comparable_matches_machine_and_quick_flag():
+    m1 = {"python": "3.12.0", "cpus": 4}
+    m2 = {"python": "3.9.1", "cpus": 2}
+    entries = [
+        {"label": "a", "quick": True, "machine": m1},
+        {"label": "b", "quick": False, "machine": m1},
+        {"label": "c", "quick": True, "machine": m2},
+        {"label": "d", "quick": True, "machine": m1},
+    ]
+    new = {"label": "e", "quick": True, "machine": dict(m1)}
+    assert find_comparable(entries, new)["label"] == "d"
+    assert find_comparable(entries, {"quick": False, "machine": m1})["label"] == "b"
+    assert find_comparable(entries, {"quick": False, "machine": m2}) is None
+    assert find_comparable([], new) is None
+
+
+def test_format_delta_reports_percentages():
+    old = {
+        "recorded_at": "2026-01-01T00:00:00+00:00",
+        "label": "full",
+        "kernel_events_per_sec": 2_000_000.0,
+        "macro": {"sim_s_per_wall_s": 1000.0},
+    }
+    new = {
+        "kernel_events_per_sec": 3_000_000.0,
+        "macro": {"sim_s_per_wall_s": 900.0},
+    }
+    line = format_delta(new, old)
+    assert "+50.0%" in line
+    assert "-10.0%" in line
+    assert "2026-01-01" in line
+    assert "no comparable" in format_delta(new, None)

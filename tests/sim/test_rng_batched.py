@@ -1,0 +1,147 @@
+"""Invariants the RNG fast path leans on.
+
+Three pillars: (1) vectorized draws consume the bit stream exactly like
+repeated scalar draws, per distribution — this is what makes
+:class:`BatchedStream` bit-identical; (2) registry streams are stable by
+name across instances and independent across forks; (3) the registry
+refuses raw/batched double-issue, which would silently desynchronize
+the cursor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import BatchedStream, DEFAULT_BATCH, RngRegistry
+
+#: Every distribution BatchedStream accepts, with representative params.
+DISTRIBUTIONS = [
+    ("random", {}),
+    ("uniform", {"low": 0.25, "high": 4.0}),
+    ("exponential", {"scale": 1.7}),
+    ("pareto", {"a": 1.16}),
+    ("lognormal", {"mean": 0.0, "sigma": 0.05}),
+    ("standard_normal", {}),
+    ("normal", {"loc": 1.0, "scale": 2.0}),
+    ("geometric", {"p": 0.3}),
+]
+
+
+def _pair(seed=1234):
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+@pytest.mark.parametrize("kind,params", DISTRIBUTIONS)
+def test_vectorized_draws_match_sequential_scalars(kind, params):
+    batched_gen, scalar_gen = _pair()
+    n = 257
+    vector = getattr(batched_gen, kind)(size=n, **params).tolist()
+    scalars = [float(getattr(scalar_gen, kind)(**params)) for _ in range(n)]
+    assert vector == scalars  # bitwise, not approx
+    # The two generators are stream-aligned afterwards, so batching
+    # composes: the NEXT draw agrees too.
+    assert batched_gen.random() == scalar_gen.random()
+
+
+@pytest.mark.parametrize("kind,params", DISTRIBUTIONS)
+def test_batched_stream_draw_parity(kind, params):
+    batched_gen, scalar_gen = _pair(seed=77)
+    stream = BatchedStream(batched_gen, kind, batch=16, **params)
+    # 3 refills and a partial batch.
+    expected = [float(getattr(scalar_gen, kind)(**params)) for _ in range(53)]
+    assert [stream.draw() for _ in range(53)] == expected
+
+
+def test_batched_stream_facade_serves_matching_calls():
+    batched_gen, scalar_gen = _pair(seed=5)
+    stream = BatchedStream(batched_gen, "lognormal", batch=8, mean=0.0, sigma=0.05)
+    expected = [scalar_gen.lognormal(mean=0.0, sigma=0.05) for _ in range(20)]
+    got = [stream.lognormal(mean=0.0, sigma=0.05) for _ in range(20)]
+    assert got == expected
+
+
+def test_batched_stream_rejects_mismatched_params():
+    stream = BatchedStream(
+        np.random.default_rng(0), "lognormal", mean=0.0, sigma=0.05
+    )
+    stream.lognormal(mean=0.0, sigma=0.05)  # warms the buffer
+    with pytest.raises(RuntimeError, match="bit-identity"):
+        stream.lognormal(mean=0.0, sigma=0.08)
+    with pytest.raises(RuntimeError, match="bit-identity"):
+        stream.uniform(0.0, 1.0)
+
+
+def test_batched_stream_rejects_unverified_distribution():
+    with pytest.raises(ValueError, match="not verified batchable"):
+        BatchedStream(np.random.default_rng(0), "binomial", n=3, p=0.5)
+
+
+def test_latency_model_accepts_batched_stream():
+    from repro.sim.latency import PLATFORM_OVERHEAD
+
+    scalar_gen = np.random.default_rng(9)
+    batched = BatchedStream(
+        np.random.default_rng(9), "lognormal", mean=0.0, sigma=0.05
+    )
+    scalar = [PLATFORM_OVERHEAD.sample(scalar_gen) for _ in range(50)]
+    served = [PLATFORM_OVERHEAD.sample(batched) for _ in range(50)]
+    assert served == scalar
+
+
+# -- registry invariants ----------------------------------------------------
+
+
+def test_stream_names_are_stable_across_registry_instances():
+    draws_a = RngRegistry(seed=42).stream("cache").random(8).tolist()
+    draws_b = RngRegistry(seed=42).stream("cache").random(8).tolist()
+    assert draws_a == draws_b
+
+
+def test_streams_differ_by_name_and_seed():
+    reg = RngRegistry(seed=42)
+    assert reg.stream("cache").random() != reg.stream("platform").random()
+    assert (
+        RngRegistry(seed=1).stream("cache").random()
+        != RngRegistry(seed=2).stream("cache").random()
+    )
+
+
+def test_batched_stream_matches_raw_stream_sequence():
+    raw = RngRegistry(seed=7).stream("cache")
+    batched = RngRegistry(seed=7).batched_stream(
+        "cache", "lognormal", mean=0.0, sigma=0.05
+    )
+    expected = [raw.lognormal(mean=0.0, sigma=0.05) for _ in range(30)]
+    assert [batched.draw() for _ in range(30)] == expected
+
+
+def test_fork_streams_are_independent_and_deterministic():
+    base = RngRegistry(seed=3)
+    fork_a = base.fork(1)
+    fork_b = base.fork(2)
+    base_draw = base.stream("cache").random()
+    a_draw = fork_a.stream("cache").random()
+    b_draw = fork_b.stream("cache").random()
+    assert len({base_draw, a_draw, b_draw}) == 3
+    # Same salt → same fork, reproducibly.
+    assert base.fork(1).stream("cache").random() == a_draw
+    assert RngRegistry(seed=3).fork(1).seed == fork_a.seed
+
+
+def test_registry_refuses_raw_then_batched_and_vice_versa():
+    reg = RngRegistry(seed=0)
+    reg.stream("cache")
+    with pytest.raises(RuntimeError, match="already handed out raw"):
+        reg.batched_stream("cache", "lognormal", mean=0.0, sigma=0.05)
+    reg2 = RngRegistry(seed=0)
+    reg2.batched_stream("persistor", "lognormal", mean=0.0, sigma=0.05)
+    with pytest.raises(RuntimeError, match="served batched"):
+        reg2.stream("persistor")
+    # Re-requesting the identical batched config returns the same cursor.
+    again = reg2.batched_stream("persistor", "lognormal", mean=0.0, sigma=0.05)
+    assert again is reg2._batched["persistor"]
+    with pytest.raises(RuntimeError, match="already batched"):
+        reg2.batched_stream("persistor", "lognormal", mean=0.0, sigma=0.08)
+
+
+def test_default_batch_is_sane():
+    assert DEFAULT_BATCH >= 64
