@@ -39,9 +39,27 @@ def main(path: str = "BENCH_perf.json") -> int:
         print(f"perf-trend: cannot read {path}: {exc}")
         return 0
     quick = next((e for e in reversed(entries) if e.get("quick")), None)
-    full = next((e for e in reversed(entries) if not e.get("quick")), None)
-    if quick is None or full is None:
-        print("perf-trend: need one quick and one full entry; skipping")
+    if quick is None:
+        print("perf-trend: no quick entry; skipping")
+        return 0
+    # Only a full entry from the *same machine fingerprint* is a trend
+    # baseline: a full entry recorded on a different box (a dev laptop,
+    # a differently-sized runner) made the delta pure noise and the
+    # -25% warning fire spuriously.
+    machine = quick.get("machine")
+    full = next(
+        (
+            e
+            for e in reversed(entries)
+            if not e.get("quick") and e.get("machine") == machine
+        ),
+        None,
+    )
+    if full is None:
+        print(
+            "perf-trend: no comparable full entry (same machine "
+            "fingerprint) to compare against; skipping"
+        )
         return 0
     lines = [
         "### Perf trend (quick CI entry vs last recorded full entry)",

@@ -1,0 +1,278 @@
+"""``repro cachewars`` — cache architectures head-to-head.
+
+One seeded multi-tenant workload (the streaming engine from
+:mod:`repro.workloads.tenants`) is replayed against every registered
+cache backend (:mod:`repro.cache`): OFC's harvested design, a
+Faa$T-style per-application auto-scaling cache and an
+InfiniCache-style erasure-coded ephemeral-function cache.  The backend
+is deliberately *excluded* from the per-cell seed, so every
+architecture faces the identical tenant population and arrival
+schedule; whatever differs in the grid is the architecture.
+
+Each cell reports the three axes the comparison is about:
+
+* **hit ratio** — the rclib data plane's view of its cache;
+* **latency** — distribution across tenants of each tenant's mean
+  end-to-end invocation latency;
+* **cost** — the backend's :class:`~repro.cache.backend.CostMeter`
+  figure (dedicated vs harvested GB-seconds plus per-op charges),
+  normalized per completed invocation.
+
+The grid is exported as a repro-obs document (deterministic for a
+fixed seed: sorted keys, no timestamps) to
+``results/cachewars_grid.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.envs import build_ofc_env
+from repro.bench.runner import cell_seed, run_grid
+from repro.cache import BACKENDS
+from repro.core.config import OFCConfig
+from repro.obs.export import export_json
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.tenants import TenantLoadEngine, TenantWorkloadConfig
+
+#: Backends every sweep compares, in a stable order.
+BACKEND_NAMES = tuple(sorted(BACKENDS))
+
+#: Per-node memory: modest, so OFC's harvest is a real (finite) pool.
+CELL_NODE_MB = 4096.0
+#: Node count for every cell (same platform under every backend).
+CELL_NODES = 4
+#: Sandbox keep-alive (seconds): short, as in the tenants bench, so
+#: one-off tenants do not pin sandboxes and the harvest pool breathes.
+CELL_KEEPALIVE_S = 8.0
+
+
+@dataclass(frozen=True)
+class CacheWarsCell:
+    """One backend's run over the shared seeded workload."""
+
+    backend: str
+    n_tenants: int
+    zipf_s: float
+    duration_s: float
+    mean_interval_s: float
+    seed: int
+    #: Simulated seconds streamed before measurement begins (cache
+    #: warm, autoscalers settled); cost metering restarts after warmup.
+    warmup_s: float = 120.0
+
+
+@dataclass
+class CacheWarsCellResult:
+    """The hit-ratio/latency/cost row for one backend."""
+
+    backend: str
+    n_tenants: int
+    zipf_s: float
+    duration_s: float
+    seed: int
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cold_starts: int = 0
+    hit_ratio: float = 0.0
+    #: Distribution across tenants of per-tenant mean latency (s).
+    latency_p50_s: float = 0.0
+    latency_p90_s: float = 0.0
+    latency_p99_s: float = 0.0
+    #: Cost-meter figures for the measured window.
+    cost_units: float = 0.0
+    cost_per_1k_invocations: float = 0.0
+    dedicated_mb_s: float = 0.0
+    harvested_mb_s: float = 0.0
+    lambda_invocations: int = 0
+    backup_ops: int = 0
+    cache_capacity_bytes: float = 0.0
+    cache_used_bytes: float = 0.0
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def run_cachewars_cell(cell: CacheWarsCell) -> CacheWarsCellResult:
+    """One independent deployment + streamed run (module-level: the
+    sweep runner pickles this into worker processes)."""
+    # Process-global id counters leak across deployments (request ids
+    # end up inside pipeline object keys); reset them so a cell's grid
+    # row is identical whether it ran serially after another cell or
+    # alone in a worker process.
+    from repro.faas import reset_id_counters
+
+    reset_id_counters()
+    config = OFCConfig(cache_backend=cell.backend)
+    ofc = build_ofc_env(
+        nodes=CELL_NODES,
+        node_mb=CELL_NODE_MB,
+        seed=cell.seed,
+        config=config,
+        keepalive_s=CELL_KEEPALIVE_S,
+    )
+    workload = TenantWorkloadConfig(
+        n_tenants=cell.n_tenants,
+        zipf_s=cell.zipf_s,
+        mean_interval_s=cell.mean_interval_s,
+        seed=cell.seed,
+    )
+    engine = TenantLoadEngine(ofc.kernel, ofc.platform, ofc.store, workload)
+    if cell.warmup_s > 0:
+        engine.run(cell.warmup_s)
+        engine.reset_stats()
+        ofc.rclib_stats.__init__()  # fresh data-plane counters
+        # Restart the cost integrals so the figure covers exactly the
+        # measured window (memory levels carry over, totals reset).
+        ofc.backend.cost.reset()
+    stats = engine.run(cell.duration_s)
+    cost = ofc.backend.cost_snapshot()
+    latency_means = [
+        agg.mean_latency_s
+        for agg in stats.per_tenant.values()
+        if agg.completed > 0
+    ]
+    completed = stats.completed
+    return CacheWarsCellResult(
+        backend=cell.backend,
+        n_tenants=cell.n_tenants,
+        zipf_s=cell.zipf_s,
+        duration_s=cell.duration_s,
+        seed=cell.seed,
+        submitted=stats.submitted,
+        completed=completed,
+        failed=stats.failed,
+        cold_starts=sum(a.cold_starts for a in stats.per_tenant.values()),
+        hit_ratio=ofc.rclib_stats.hit_ratio,
+        latency_p50_s=_percentile(latency_means, 50),
+        latency_p90_s=_percentile(latency_means, 90),
+        latency_p99_s=_percentile(latency_means, 99),
+        cost_units=cost["cost_units"],
+        cost_per_1k_invocations=(
+            1000.0 * cost["cost_units"] / completed if completed else 0.0
+        ),
+        dedicated_mb_s=cost["dedicated_mb_s"],
+        harvested_mb_s=cost["harvested_mb_s"],
+        lambda_invocations=cost["lambda_invocations"],
+        backup_ops=cost["backup_ops"],
+        cache_capacity_bytes=float(ofc.backend.total_capacity),
+        cache_used_bytes=float(ofc.backend.total_used),
+    )
+
+
+def cachewars_grid(
+    quick: bool = False,
+    seed: int = 0,
+    backends: Sequence[str] = BACKEND_NAMES,
+) -> List[CacheWarsCell]:
+    """One cell per backend over the shared seeded workload."""
+    if quick:
+        n_tenants, zipf_s = 150, 1.1
+        duration_s, mean_interval_s = 300.0, 60.0
+    else:
+        n_tenants, zipf_s = 600, 1.1
+        duration_s, mean_interval_s = 900.0, 120.0
+    # The backend is deliberately NOT part of the seed: every
+    # architecture must face the identical population and arrivals, or
+    # the grid compares workloads instead of architectures.
+    shared_seed = cell_seed(seed, "cachewars", n_tenants, zipf_s)
+    return [
+        CacheWarsCell(
+            backend=backend,
+            n_tenants=n_tenants,
+            zipf_s=zipf_s,
+            duration_s=duration_s,
+            mean_interval_s=mean_interval_s,
+            seed=shared_seed,
+        )
+        for backend in backends
+    ]
+
+
+def run_cachewars(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    grid_out: Optional[str] = None,
+) -> List[CacheWarsCellResult]:
+    """Run the head-to-head and (optionally) export the grid."""
+    cells = cachewars_grid(quick=quick, seed=seed)
+    results: List[CacheWarsCellResult] = run_grid(
+        run_cachewars_cell, cells, workers=workers
+    )
+    if grid_out:
+        export_grid(results, grid_out)
+    return results
+
+
+def export_grid(results: List[CacheWarsCellResult], out: str) -> dict:
+    """Write the head-to-head as a repro-obs document."""
+    registry = MetricsRegistry()
+    hit = registry.gauge(
+        "cachewars_hit_ratio", help="data-plane cache hit ratio per backend"
+    )
+    latency = registry.gauge(
+        "cachewars_latency_p90_s",
+        help="p90 across tenants of per-tenant mean latency",
+    )
+    cost = registry.gauge(
+        "cachewars_cost_per_1k_invocations",
+        help="normalized cache cost per 1000 completed invocations",
+    )
+    for row in results:
+        labels = {"backend": row.backend}
+        hit.set(row.hit_ratio, **labels)
+        latency.set(row.latency_p90_s, **labels)
+        cost.set(row.cost_per_1k_invocations, **labels)
+    summary = {
+        "cells": len(results),
+        "backends": sorted(r.backend for r in results),
+        "submitted": sum(r.submitted for r in results),
+        "completed": sum(r.completed for r in results),
+        "failed": sum(r.failed for r in results),
+    }
+    registry.register_collector("cachewars", lambda: summary)
+    return export_json(
+        out,
+        registry=registry,
+        meta={
+            "experiment": "cachewars",
+            "grid": [asdict(row) for row in results],
+        },
+    )
+
+
+def format_results(results: List[CacheWarsCellResult]) -> str:
+    from repro.bench.reporting import format_table
+
+    return format_table(
+        [
+            "backend",
+            "ok",
+            "failed",
+            "hit ratio",
+            "lat p50 (s)",
+            "lat p90 (s)",
+            "cost/1k inv",
+        ],
+        [
+            (
+                r.backend,
+                r.completed,
+                r.failed,
+                round(r.hit_ratio, 4),
+                round(r.latency_p50_s, 4),
+                round(r.latency_p90_s, 4),
+                round(r.cost_per_1k_invocations, 4),
+            )
+            for r in results
+        ],
+        title="Cache wars — one workload, every architecture",
+    )

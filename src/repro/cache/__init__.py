@@ -1,0 +1,55 @@
+"""Pluggable cache-architecture backends for the OFC platform.
+
+``OFCConfig.cache_backend`` selects the architecture behind the data
+plane; :func:`make_backend` builds it.  See :mod:`repro.cache.backend`
+for the contract every backend implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.cache.backend import CacheBackend, CostMeter
+from repro.cache.faast import FaaSTBackend
+from repro.cache.infinicache import InfiniCacheBackend
+from repro.cache.ofc_backend import OFCCacheBackend
+from repro.core.config import OFCConfig
+from repro.sim.kernel import Kernel
+
+BACKENDS: Dict[str, Type[CacheBackend]] = {
+    OFCCacheBackend.name: OFCCacheBackend,
+    FaaSTBackend.name: FaaSTBackend,
+    InfiniCacheBackend.name: InfiniCacheBackend,
+}
+
+
+def make_backend(
+    name: str,
+    kernel: Kernel,
+    node_ids: List[str],
+    config: Optional[OFCConfig] = None,
+    rng=None,
+    max_object_size: Optional[int] = None,
+) -> CacheBackend:
+    """Build the named cache backend ("ofc", "faast", "infinicache")."""
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache backend {name!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    return backend_cls(
+        kernel, node_ids, config=config, rng=rng,
+        max_object_size=max_object_size,
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "CacheBackend",
+    "CostMeter",
+    "FaaSTBackend",
+    "InfiniCacheBackend",
+    "OFCCacheBackend",
+    "make_backend",
+]

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli fig8 --workers 8
     python -m repro.cli perf --quick
     python -m repro.cli tenants --quick --workers 2
+    python -m repro.cli cachewars --quick
     python -m repro.cli faults
     python -m repro.cli run --faults examples/faults/crash_restart.json
 
@@ -27,6 +28,10 @@ time) and appends an entry to the ``--bench-out`` trajectory file.
 popularity, diurnal/bursty arrivals) through OFC, sweeps tenant count
 × skew × cache quota policy, and writes the per-tenant hit-ratio and
 fairness grid to ``--grid-out``.
+``cachewars`` replays one seeded multi-tenant workload against every
+registered cache architecture (OFC harvested, Faa$T-style cachelets,
+InfiniCache-style erasure-coded lambdas) and writes the
+hit-ratio/latency/cost grid to ``--cachewars-out``.
 ``faults`` runs the availability experiment (baseline vs a mid-run
 node crash and restart).  ``run`` drives one deployment under a JSON
 fault schedule (``--faults PATH``, ``--duration S``) and prints the
@@ -324,6 +329,13 @@ def _tenants(quick: bool, workers, grid_out: str) -> str:
     return format_results(results) + f"\n[grid written to {grid_out}]"
 
 
+def _cachewars(quick: bool, workers, grid_out: str) -> str:
+    from repro.bench.cachewars import format_results, run_cachewars
+
+    results = run_cachewars(quick=quick, workers=workers, grid_out=grid_out)
+    return format_results(results) + f"\n[grid written to {grid_out}]"
+
+
 def _report(quick: bool, out: str) -> str:
     from repro.bench.report import run_report
 
@@ -385,7 +397,7 @@ def main(argv=None) -> int:
         "experiments",
         nargs="+",
         help="experiment names, 'all', 'list', 'report', 'perf', "
-        "'tenants', or 'run'",
+        "'tenants', 'cachewars', or 'run'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sample counts"
@@ -415,6 +427,12 @@ def main(argv=None) -> int:
         metavar="PATH",
         default="results/tenants_grid.json",
         help="output path for the 'tenants' sweep's grid JSON",
+    )
+    parser.add_argument(
+        "--cachewars-out",
+        metavar="PATH",
+        default="results/cachewars_grid.json",
+        help="output path for the 'cachewars' head-to-head grid JSON",
     )
     parser.add_argument(
         "--bench-out",
@@ -456,6 +474,7 @@ def main(argv=None) -> int:
         print("report")
         print("perf")
         print("tenants")
+        print("cachewars")
         print("run")
         return 0
     names = (
@@ -478,6 +497,7 @@ def main(argv=None) -> int:
                 "report",
                 "perf",
                 "tenants",
+                "cachewars",
                 "run",
             ):
                 print(f"unknown experiment: {name}", file=sys.stderr)
@@ -496,6 +516,12 @@ def main(argv=None) -> int:
                     )
                 elif name == "tenants":
                     print(_tenants(args.quick, args.workers, args.grid_out))
+                elif name == "cachewars":
+                    print(
+                        _cachewars(
+                            args.quick, args.workers, args.cachewars_out
+                        )
+                    )
                 elif name == "run":
                     print(_run_schedule(args.quick, args.faults, args.duration))
                 else:

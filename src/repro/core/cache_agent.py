@@ -266,8 +266,11 @@ class CacheAgent:
         if tenancy is None:
             return (False, obj.t_access)
         tenant = obj.flags.get("tenant")
+        # Same capacity base as admission (proxy._admit): the clamped
+        # figure, or quota checks disagree whenever the live total
+        # overshoots a configured cache_cap_mb.
         over = bool(tenant) and tenancy.over_quota(
-            tenant, self.cluster.total_capacity
+            tenant, self.cluster.quota_capacity
         )
         return (not over, obj.t_access)
 

@@ -90,3 +90,41 @@ class OFCConfig:
 
     # -- cache cluster ---------------------------------------------------------------
     replication_factor: int = 2
+
+    # -- pluggable cache architecture (see repro.cache) ------------------------------
+    #: Which cache architecture backs the data plane: "ofc" (the paper's
+    #: harvested RAMCloud design, the default and the only bit-identical
+    #: path), "faast" (Faa$T-style per-application auto-scaling cache)
+    #: or "infinicache" (InfiniCache-style erasure-coded ephemeral
+    #: sandboxes with object-store backup).
+    cache_backend: str = "ofc"
+
+    # Faa$T backend knobs (arXiv:2104.13869).
+    #: Size of one per-application cache shard ("cachelet").
+    faast_shard_mb: float = 64.0
+    #: Horizontal-scaling ceiling per application.
+    faast_max_shards_per_app: int = 8
+    #: Scaling-decision cadence.
+    faast_scale_period_s: float = 10.0
+    #: Accesses per period one shard is deemed to absorb (frequency axis).
+    faast_ops_per_shard: int = 200
+    #: Extra capacity provisioned above the observed working set.
+    faast_ws_headroom: float = 0.25
+    #: Idle scaling periods before an application's cache is torn down.
+    faast_idle_periods: int = 3
+
+    # InfiniCache backend knobs (arXiv:2001.10483).
+    #: Erasure-coding geometry: k data + r parity chunks per object.
+    infinicache_data_chunks: int = 4
+    infinicache_parity_chunks: int = 2
+    #: Memory of one ephemeral sandbox ("lambda").
+    infinicache_lambda_mb: float = 64.0
+    #: Sandbox pool size per node.
+    infinicache_lambdas_per_node: int = 4
+    #: Provider-side sandbox lifetime before reclamation.
+    infinicache_lifetime_s: float = 600.0
+    #: Reclamation-scan cadence (expired sandboxes are replaced and
+    #: their chunks warmed up from peers or the backup store).
+    infinicache_reclaim_period_s: float = 30.0
+    #: Periodic backup cadence (objects copied to the object store).
+    infinicache_backup_period_s: float = 120.0

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any, Dict, Generator, List, Optional
 
-from repro.core.cache_agent import CacheAgent
 from repro.core.config import OFCConfig
 from repro.core.metrics import OFCMetrics
 from repro.core.monitor import Monitor
@@ -23,7 +22,6 @@ from repro.core.trainer import ModelTrainer
 from repro.faas.pipeline import Pipeline, PipelineRecord
 from repro.faas.platform import FaaSPlatform, PlatformConfig
 from repro.faas.records import InvocationRecord, InvocationRequest
-from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import NoSuchKey
 from repro.kvcache.objects import LOCAL_READ
 from repro.obs.registry import MetricsRegistry
@@ -90,15 +88,31 @@ class OFCPlatform:
             platform_config,
             rng=self.rng.stream("platform"),
         )
-        self.cluster = CacheCluster(
+        # The pluggable cache architecture (see repro.cache; imported
+        # here, not at module scope — repro.cache itself pulls in
+        # repro.core.config, and a module-level import would cycle).
+        # The default "ofc" backend is a pass-through over CacheCluster —
+        # bit-identical to the pre-seam build; "faast"/"infinicache"
+        # swap the whole cache subsystem behind the same surface.
+        from repro.cache import make_backend
+
+        self.backend = make_backend(
+            self.config.cache_backend,
             self.kernel,
             platform_config.node_ids,
-            replication_factor=self.config.replication_factor,
+            config=self.config,
             rng=cache_rng,
             max_object_size=self.config.max_cacheable_bytes,
         )
+        #: The raw RAMCloud-style cluster (None on non-ofc backends;
+        #: existing benches/tests reach it directly).
+        self.cluster = getattr(self.backend, "cluster", None)
         self.metrics = OFCMetrics()
         self.rclib_stats = RcLibStats()
+        # Keys with a cache-fill already in flight, shared across every
+        # per-invocation RcLibClient: concurrent misses on one key must
+        # schedule exactly one fill (see RcLibClient._populate_async).
+        self._inflight_fills: set = set()
         # Per-tenant accounting and admission; with the default "none"
         # policy this is pure bookkeeping and the simulated schedule is
         # bit-identical to a build without it.
@@ -109,8 +123,8 @@ class OFCPlatform:
                 proportional_floor=self.config.tenant_proportional_floor,
             )
         )
-        self.cluster.on_object_admitted = self._on_object_admitted
-        self.cluster.on_object_removed = self._on_object_removed
+        self.backend.on_object_admitted = self._on_object_admitted
+        self.backend.on_object_removed = self._on_object_removed
         self.trainer = ModelTrainer(
             self.config, self.platform.registry, rsds_profile=rsds_profile
         )
@@ -124,24 +138,20 @@ class OFCPlatform:
         self.persistor = PersistorService(
             self.kernel,
             self.store,
-            self.cluster,
+            self.backend,
             rng=persistor_rng,
             on_persisted=self._on_persisted,
         )
-        self.agents: Dict[str, CacheAgent] = {
-            invoker.node_id: CacheAgent(
-                self.kernel,
-                invoker,
-                self.cluster,
-                self.persistor,
-                config=self.config,
-                metrics=self.metrics,
-                tenancy=self.tenancy,
-            )
-            for invoker in self.platform.invokers
-        }
+        self.backend.attach(
+            platform=self.platform,
+            persistor=self.persistor,
+            metrics=self.metrics,
+            tenancy=self.tenancy,
+        )
+        #: Per-node harvest agents (empty on non-ofc backends).
+        self.agents: Dict[str, Any] = getattr(self.backend, "agents", {})
         # Hook everything into the platform.
-        self.platform.scheduler = OFCScheduler(self.cluster)
+        self.platform.scheduler = OFCScheduler(self.backend)
         self.platform.sizing_policy = self.predictor.sizing_policy
         self.platform.data_client_factory = self._make_data_client
         self.platform.monitor_factory = self._make_monitor
@@ -166,7 +176,8 @@ class OFCPlatform:
         registry.register_collector("ofc", self.metrics.snapshot)
         registry.register_collector("table2", self.table2_snapshot)
         registry.register_collector("rclib", self._rclib_snapshot)
-        registry.register_collector("kvcache", self.cluster.stats_snapshot)
+        registry.register_collector("kvcache", self.backend.stats_snapshot)
+        registry.register_collector("cache_backend", self.backend.cost_snapshot)
         registry.register_collector("rsds", self.store.stats.snapshot)
         registry.register_collector(
             "persistor", lambda: asdict(self.persistor.stats)
@@ -198,12 +209,12 @@ class OFCPlatform:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Start the per-node cache agents (sizes the initial cache)."""
+        """Start the cache backend (on "ofc": the per-node agents,
+        which size the initial cache)."""
         if self._started:
             return
         self._started = True
-        for agent in self.agents.values():
-            agent.start()
+        self.backend.start()
         # Let the initial scale-up land before any invocation arrives.
         self.kernel.run(until=self.kernel.now)
 
@@ -213,13 +224,14 @@ class OFCPlatform:
         return RcLibClient(
             self.kernel,
             invoker.node_id,
-            self.cluster,
+            self.backend,
             self.store,
             self.persistor,
             self.config,
             record,
             self.rclib_stats,
             tenancy=self.tenancy,
+            inflight_fills=self._inflight_fills,
         )
 
     def _make_monitor(self, record: InvocationRecord, invoker) -> Monitor:
@@ -237,7 +249,7 @@ class OFCPlatform:
             yield from self.persistor.boost(key)
             return
         # Nothing in flight but the RSDS copy is stale: push from cache.
-        cached = self.cluster.peek(key)
+        cached = self.backend.peek(key)
         if cached is not None:
             done = self.persistor.schedule(
                 meta.bucket, meta.name, cached.value, meta.version, final=False
@@ -247,9 +259,9 @@ class OFCPlatform:
     def _write_webhook(self, op: str, meta) -> Generator:
         """Invalidate the cached copy before an external write (§6.2)."""
         key = meta.key
-        if self.cluster.contains(key):
+        if self.backend.contains(key):
             try:
-                yield from self.cluster.delete(key, caller="external")
+                yield from self.backend.delete(key, caller="external")
             except NoSuchKey:
                 pass
 
@@ -259,17 +271,17 @@ class OFCPlatform:
             return
 
         def discard():
-            cached = self.cluster.peek(key)
+            cached = self.backend.peek(key)
             if (
                 cached is not None
                 and cached.version <= version
                 and not cached.flags.get("dirty", False)
             ):
                 try:
-                    yield from self.cluster.delete(key, caller="external")
+                    yield from self.backend.delete(key, caller="external")
                 except NoSuchKey:
                     pass
-            agent = self.agents.get(self.cluster.location_of(key) or "")
+            agent = self.agents.get(self.backend.location_of(key) or "")
             if agent is not None:
                 agent._queue_retarget()
 
@@ -281,29 +293,28 @@ class OFCPlatform:
 
         def cleanup():
             removed = 0
-            for server in self.cluster.coordinator.servers.values():
-                for obj in server.master_objects():
-                    if obj.flags.get("pipeline_id") != record.pipeline_id:
-                        continue
-                    if not obj.flags.get("intermediate", False):
-                        continue
-                    bucket, _sep, name = obj.key.partition("/")
+            # backend.objects() is lazy per node, in the same order the
+            # pre-seam loop walked the cluster's servers (bit-identity).
+            for node_id, obj in self.backend.objects():
+                if obj.flags.get("pipeline_id") != record.pipeline_id:
+                    continue
+                if not obj.flags.get("intermediate", False):
+                    continue
+                bucket, _sep, name = obj.key.partition("/")
+                try:
+                    yield from self.backend.delete(obj.key, caller=node_id)
+                    removed += 1
+                except NoSuchKey:
+                    continue
+                if self.store.contains(bucket, name):
                     try:
-                        yield from self.cluster.delete(
-                            obj.key, caller=server.server_id
+                        yield from self.store.delete(
+                            bucket, name, internal=True
                         )
-                        removed += 1
-                    except NoSuchKey:
+                    except StoreUnavailable:
+                        # Outage mid-cleanup: the orphan shadow stays
+                        # in the RSDS; harmless (zero payload).
                         continue
-                    if self.store.contains(bucket, name):
-                        try:
-                            yield from self.store.delete(
-                                bucket, name, internal=True
-                            )
-                        except StoreUnavailable:
-                            # Outage mid-cleanup: the orphan shadow stays
-                            # in the RSDS; harmless (zero payload).
-                            continue
             self.metrics.pipeline_cleanups += 1
             self.metrics.intermediate_objects_removed += removed
 

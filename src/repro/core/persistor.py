@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
-from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import NoSuchKey
 from repro.sim.kernel import Event, Kernel
 from repro.sim.latency import PLATFORM_OVERHEAD
@@ -43,7 +42,7 @@ class PersistorService:
         self,
         kernel: Kernel,
         store: ObjectStore,
-        cluster: CacheCluster,
+        cluster,  # CacheCluster or any repro.cache CacheBackend
         rng=None,
         on_persisted: Optional[Callable[[str, bool, int], None]] = None,
     ):

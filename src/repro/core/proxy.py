@@ -17,7 +17,6 @@ from repro.core.config import OFCConfig
 from repro.core.persistor import PersistorService
 from repro.faas.dataclient import DataClient
 from repro.faas.records import InvocationRecord
-from repro.kvcache.cluster import CacheCluster
 from repro.kvcache.errors import CacheError, CapacityExceeded, NoSuchKey, ObjectTooLarge
 from repro.sim.kernel import Kernel
 from repro.storage.errors import NoSuchObject, StoreUnavailable
@@ -42,6 +41,9 @@ class RcLibStats:
     degraded_writes: int = 0
     bypass_reads: int = 0
     bypass_writes: int = 0
+    #: Read-miss fills skipped because the same key already had one in
+    #: flight (two concurrent misses must not double-fill the cache).
+    fills_deduped: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -58,13 +60,14 @@ class RcLibClient(DataClient):
         self,
         kernel: Kernel,
         node_id: str,
-        cluster: CacheCluster,
+        cluster,  # CacheCluster or any repro.cache CacheBackend
         store: ObjectStore,
         persistor: PersistorService,
         config: OFCConfig,
         record: InvocationRecord,
         stats: RcLibStats,
         tenancy=None,
+        inflight_fills: Optional[set] = None,
     ):
         self.kernel = kernel
         self.node_id = node_id
@@ -77,6 +80,11 @@ class RcLibClient(DataClient):
         #: Optional per-tenant accounting + admission policy
         #: (:class:`repro.core.tenancy.TenantCacheAccounting`).
         self.tenancy = tenancy
+        #: Keys with a fill in flight, shared deployment-wide by the
+        #: platform so concurrent clients dedupe against each other.
+        self.inflight_fills = (
+            inflight_fills if inflight_fills is not None else set()
+        )
 
     @property
     def _tenant(self) -> str:
@@ -91,7 +99,11 @@ class RcLibClient(DataClient):
             tenant = self._tenant
         if not tenant:
             return True
-        return self.tenancy.admit(tenant, size, self.cluster.total_capacity)
+        # Quotas divide the *clamped* capacity: the live total can sit
+        # above a configured cache_cap_mb (resizes never go below what
+        # the backup log holds), and per-tenant entitlements derived
+        # from the unclamped figure would sum past the operator's cap.
+        return self.tenancy.admit(tenant, size, self.cluster.quota_capacity)
 
     # -- helpers ------------------------------------------------------------
 
@@ -166,7 +178,17 @@ class RcLibClient(DataClient):
         return obj
 
     def _populate_async(self, key: str, obj: StoredObject) -> None:
-        """Admit a read-miss object to the cache off the critical path."""
+        """Admit a read-miss object to the cache off the critical path.
+
+        At most one fill per key is in flight deployment-wide: two
+        concurrent misses on the same key used to each schedule a fill,
+        double-counting cache writes and skewing the hit-ratio metrics.
+        """
+        fills = self.inflight_fills
+        if key in fills:
+            self.stats.fills_deduped += 1
+            return
+        fills.add(key)
 
         def fill():
             try:
@@ -184,6 +206,8 @@ class RcLibClient(DataClient):
                 )
             except (CapacityExceeded, ObjectTooLarge, CacheError):
                 pass  # no room: the object simply stays uncached
+            finally:
+                fills.discard(key)
 
         self.kernel.process(fill(), name=f"cache-fill-{key}")
 

@@ -7,7 +7,6 @@ from typing import List, Optional
 from repro.faas.invoker import Invoker
 from repro.faas.records import InvocationRequest
 from repro.faas.scheduler import Scheduler
-from repro.kvcache.cluster import CacheCluster
 
 
 class OFCScheduler(Scheduler):
@@ -18,9 +17,13 @@ class OFCScheduler(Scheduler):
     free memory, data locality, recency); otherwise a fresh sandbox is
     created, preferably on the node holding the master cached copy of
     the request's input object.
+
+    ``cluster`` is anything with ``location_of`` — the raw
+    :class:`~repro.kvcache.cluster.CacheCluster` or any
+    :class:`~repro.cache.backend.CacheBackend`.
     """
 
-    def __init__(self, cluster: CacheCluster):
+    def __init__(self, cluster):
         self.cluster = cluster
 
     def _locality_node(self, request: InvocationRequest) -> Optional[str]:

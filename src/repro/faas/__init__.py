@@ -44,6 +44,30 @@ from repro.faas.registry import FunctionRegistry, FunctionSpec
 from repro.faas.sandbox import Sandbox, SandboxState
 from repro.faas.scheduler import HomeWorkerScheduler, Scheduler
 
+
+def reset_id_counters() -> None:
+    """Restart every process-global id counter (requests, sandboxes,
+    pipelines).
+
+    The counters run monotonically for the life of the process, and
+    some ids leak into simulated state (pipeline intermediates embed
+    the request id in their object keys), so back-to-back deployments
+    in one process are not independent: the second sees different keys
+    than it would in a fresh process.  Benches that compare cells
+    against each other call this before building each deployment so a
+    cell's result does not depend on how many cells ran before it (or
+    on the ``--workers`` fan-out).  The bit-identity-gated benches
+    never reset — their schedules are frozen with the counters running.
+    """
+    from repro.faas.pipeline import reset_pipeline_ids
+    from repro.faas.records import reset_request_ids
+    from repro.faas.sandbox import reset_sandbox_ids
+
+    reset_request_ids()
+    reset_sandbox_ids()
+    reset_pipeline_ids()
+
+
 __all__ = [
     "DataClient",
     "DirectStoreClient",
@@ -65,6 +89,7 @@ __all__ = [
     "Pipeline",
     "PlatformConfig",
     "ResourceExhausted",
+    "reset_id_counters",
     "Sandbox",
     "SandboxState",
     "Scheduler",

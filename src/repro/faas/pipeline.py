@@ -17,6 +17,13 @@ from repro.faas.records import InvocationRecord, Phases
 
 _next_pipeline = itertools.count(1)
 
+
+def reset_pipeline_ids() -> None:
+    """Restart the process-global pipeline-id counter (see
+    :func:`repro.faas.reset_id_counters`)."""
+    global _next_pipeline
+    _next_pipeline = itertools.count(1)
+
 #: A planner returns one (args, input_ref) tuple per branch invocation.
 StagePlanner = Callable[
     [List[str], Dict[str, Any]], List[Tuple[Dict[str, Any], Optional[str]]]

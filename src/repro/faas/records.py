@@ -15,6 +15,19 @@ from typing import Any, Dict, Optional
 _next_id = itertools.count(1)
 
 
+def reset_request_ids() -> None:
+    """Restart the process-global request-id counter.
+
+    Request ids leak into object keys (pipeline intermediates embed
+    them), so a deployment's cache behaviour depends on how many
+    invocations ran earlier in the same process.  Benches that promise
+    a deterministic grid regardless of worker fan-out reset the
+    counter before each cell (see :func:`repro.faas.reset_id_counters`).
+    """
+    global _next_id
+    _next_id = itertools.count(1)
+
+
 @dataclass
 class InvocationRequest:
     """One function invocation request as received by the Controller."""

@@ -14,6 +14,13 @@ from typing import Optional
 _next_id = itertools.count(1)
 
 
+def reset_sandbox_ids() -> None:
+    """Restart the process-global sandbox-id counter (see
+    :func:`repro.faas.reset_id_counters`)."""
+    global _next_id
+    _next_id = itertools.count(1)
+
+
 class SandboxState(Enum):
     STARTING = "starting"
     IDLE = "idle"

@@ -60,8 +60,12 @@ class FaultInjector:
         self.detection_delay_s = detection_delay_s
         self.state = FaultState()
         # Wire the shared fault state into the instrumented components.
+        # Deployments built on the backend seam expose ``backend``
+        # (crash/restart/recover/repair for any architecture); plain
+        # CacheCluster test rigs fall back to the cluster itself.
+        self.backend = getattr(ofc, "backend", None) or ofc.cluster
         ofc.store.faults = self.state
-        ofc.cluster.faults = self.state
+        self.backend.faults = self.state
         # Fault runs stay on the kernel's generic (reference) dispatch
         # loop until a specialized faulted variant is parity gated — see
         # repro.sim.fastpath.  The schedules are bit-identical either
@@ -120,24 +124,24 @@ class FaultInjector:
 
     def _crash(self, node: str) -> Generator:
         span = self.kernel.tracer.start("fault.crash", node=node)
-        self.ofc.cluster.crash(node)
+        self.backend.crash(node)
         self.stats.crashes += 1
         # Failure detection: recovery starts after the membership
         # timeout, not instantaneously.
         yield self.detection_delay_s
-        recovered = yield from self.ofc.cluster.recover(node)
+        recovered = yield from self.backend.recover(node)
         self.stats.recovered_objects += recovered
-        repaired = yield from self.ofc.cluster.repair()
+        repaired = yield from self.backend.repair()
         self.stats.repaired_keys += repaired
         span.finish(recovered=recovered, repaired=repaired)
 
     def _restart(self, node: str) -> Generator:
         span = self.kernel.tracer.start("fault.restart", node=node)
-        purged = self.ofc.cluster.restart(node)
+        purged = self.backend.restart(node)
         self.stats.restarts += 1
         self.stats.purged_backups += purged
-        # The node's disk is available again: restore full replication.
-        repaired = yield from self.ofc.cluster.repair()
+        # The node's storage is available again: restore redundancy.
+        repaired = yield from self.backend.repair()
         self.stats.repaired_keys += repaired
         span.finish(purged=purged, repaired=repaired)
 

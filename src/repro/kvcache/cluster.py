@@ -86,6 +86,15 @@ class CacheCluster:
         #: intentionally skip them — the accounting resyncs from a scan.
         self.on_object_admitted: Optional[Callable] = None
         self.on_object_removed: Optional[Callable] = None
+        #: Called with ``(now, total_capacity)`` after every resize —
+        #: pure accounting (cost integrals), never a schedule change.
+        self.on_resize: Optional[Callable] = None
+        #: Configured aggregate ceiling for quota arithmetic.  The live
+        #: ``total_capacity`` can legitimately sit above the configured
+        #: cap (scale_up never sizes below what the backup log already
+        #: holds), so per-tenant quotas must divide the *clamped*
+        #: figure or they sum past the operator's cap.
+        self.quota_cap_bytes: Optional[int] = None
         # Keys whose live replica count fell below the configured
         # factor (down backup at put time, partial recovery, crashed
         # backup node).  ``repair()`` drains this set.
@@ -118,6 +127,15 @@ class CacheCluster:
     @property
     def total_used(self) -> int:
         return sum(s.used_bytes for s in self.coordinator.servers.values())
+
+    @property
+    def quota_capacity(self) -> int:
+        """Capacity base for tenant-quota arithmetic: the live total,
+        clamped at the configured aggregate cap (if any)."""
+        total = self.total_capacity
+        if self.quota_cap_bytes is None:
+            return total
+        return min(total, self.quota_cap_bytes)
 
     @property
     def under_replicated_keys(self) -> Set[str]:
@@ -395,6 +413,8 @@ class CacheCluster:
             )
         yield self._delay(CACHE_SCALE_PLAIN)
         self.stats.resizes += 1
+        if self.on_resize is not None:
+            self.on_resize(self.kernel.now, self.total_capacity)
         return server.capacity
 
     def scale_down(
@@ -411,6 +431,8 @@ class CacheCluster:
         model = CACHE_SCALE_EVICT if evicting else CACHE_SCALE_PLAIN
         yield self._delay(model)
         self.stats.resizes += 1
+        if self.on_resize is not None:
+            self.on_resize(self.kernel.now, self.total_capacity)
         return server.capacity
 
     def migrate_master(

@@ -1,0 +1,82 @@
+"""End-to-end tests for the ``repro cachewars`` head-to-head."""
+
+import json
+from dataclasses import asdict
+
+from repro.bench.cachewars import (
+    BACKEND_NAMES,
+    CacheWarsCell,
+    cachewars_grid,
+    export_grid,
+    format_results,
+    run_cachewars_cell,
+)
+
+
+def _tiny_cell(backend="ofc", seed=3):
+    return CacheWarsCell(
+        backend=backend,
+        n_tenants=30,
+        zipf_s=1.1,
+        duration_s=90.0,
+        mean_interval_s=20.0,
+        seed=seed,
+        warmup_s=45.0,
+    )
+
+
+def test_grid_shares_seed_across_backends():
+    cells = cachewars_grid(quick=True)
+    assert tuple(c.backend for c in cells) == BACKEND_NAMES
+    # Every architecture must face the identical workload: one shared
+    # seed per (tenant count, skew), with the backend name excluded.
+    assert len({(c.n_tenants, c.zipf_s, c.seed) for c in cells}) == 1
+
+
+def test_every_backend_completes_the_shared_workload():
+    results = [run_cachewars_cell(_tiny_cell(b)) for b in BACKEND_NAMES]
+    submitted = {r.submitted for r in results}
+    assert submitted != {0}
+    # Same seed, same arrival schedule, regardless of architecture.
+    assert len(submitted) == 1
+    for result in results:
+        assert result.completed > 0
+        assert result.completed + result.failed == result.submitted
+        assert 0.0 <= result.hit_ratio <= 1.0
+        assert result.latency_p50_s <= result.latency_p99_s
+        assert result.cost_units >= 0.0
+        assert result.cost_per_1k_invocations >= 0.0
+
+
+def test_cell_is_deterministic_for_fixed_seed():
+    # Back-to-back runs in one process must agree exactly: the id
+    # counters are reset per cell, so nothing leaks between runs.
+    first = run_cachewars_cell(_tiny_cell("infinicache"))
+    second = run_cachewars_cell(_tiny_cell("infinicache"))
+    assert asdict(first) == asdict(second)
+
+
+def test_rival_pools_priced_dedicated_ofc_harvested():
+    ofc = run_cachewars_cell(_tiny_cell("ofc"))
+    faast = run_cachewars_cell(_tiny_cell("faast"))
+    assert ofc.harvested_mb_s > 0.0
+    assert ofc.dedicated_mb_s == 0.0
+    assert faast.dedicated_mb_s > 0.0
+    assert faast.harvested_mb_s == 0.0
+
+
+def test_export_grid_document(tmp_path):
+    result = run_cachewars_cell(_tiny_cell())
+    out = tmp_path / "results" / "cachewars_grid.json"
+    export_grid([result], str(out))
+    doc = json.loads(out.read_text())
+    assert "cachewars_hit_ratio" in doc["metrics"]
+    assert "cachewars_cost_per_1k_invocations" in doc["metrics"]
+    assert doc["collected"]["cachewars"]["cells"] == 1
+    assert doc["collected"]["cachewars"]["backends"] == ["ofc"]
+    row = doc["meta"]["grid"][0]
+    assert row["backend"] == "ofc"
+    assert row["hit_ratio"] == result.hit_ratio
+    assert row["cost_units"] == result.cost_units
+    # The table formatter accepts the same rows.
+    assert "backend" in format_results([result])

@@ -1,0 +1,106 @@
+"""Regression tests for the CI perf-trend annotation script.
+
+The script lives under ``scripts/`` (not the package), so it is loaded
+by path.  The regression of interest: the trend used to compare the CI
+quick entry against the last full entry from *any* machine, so a full
+entry recorded on a beefier box made every CI run "regress" and the
+warning annotation fired on noise.  The baseline must share the quick
+entry's machine fingerprint.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "perf_trend.py"
+
+spec = importlib.util.spec_from_file_location("perf_trend", SCRIPT)
+perf_trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_trend)
+
+CI_MACHINE = {"python": "3.12.1", "cpus": 4}
+DEV_MACHINE = {"python": "3.12.1", "cpus": 128}
+
+
+def entry(label, quick, machine, events=100_000.0):
+    return {
+        "label": label,
+        "quick": quick,
+        "machine": machine,
+        "recorded_at": f"2026-08-0{1 if quick else 2}T00:00:00+00:00",
+        "kernel_events_per_sec": events,
+        "macro": {"sim_s_per_wall_s": events / 100.0},
+    }
+
+
+def write(tmp_path, entries):
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"schema": 1, "entries": entries}))
+    return str(path)
+
+
+def test_full_entry_from_other_machine_is_not_a_baseline(tmp_path, capsys):
+    # A fast dev box recorded the only full entry; the CI quick entry
+    # is 10x slower.  Pre-fix this printed a spurious -90% warning.
+    path = write(
+        tmp_path,
+        [
+            entry("full-dev", False, DEV_MACHINE, events=1_000_000.0),
+            entry("ci-quick", True, CI_MACHINE, events=100_000.0),
+        ],
+    )
+    assert perf_trend.main(path) == 0
+    out = capsys.readouterr().out
+    assert "::warning" not in out
+    assert "no comparable full entry" in out
+
+
+def test_matching_machine_full_entry_produces_table(tmp_path, capsys):
+    path = write(
+        tmp_path,
+        [
+            entry("full-ci", False, CI_MACHINE, events=100_000.0),
+            entry("full-dev", False, DEV_MACHINE, events=1_000_000.0),
+            entry("ci-quick", True, CI_MACHINE, events=105_000.0),
+        ],
+    )
+    assert perf_trend.main(path) == 0
+    out = capsys.readouterr().out
+    assert "| kernel sleep events/s |" in out
+    assert "full-ci" in out  # the same-machine baseline, not full-dev
+    assert "full-dev" not in out
+    assert "::warning" not in out  # +5% is not a regression
+
+
+def test_real_regression_on_same_machine_still_warns(tmp_path, capsys):
+    path = write(
+        tmp_path,
+        [
+            entry("full-ci", False, CI_MACHINE, events=100_000.0),
+            entry("ci-quick", True, CI_MACHINE, events=50_000.0),
+        ],
+    )
+    assert perf_trend.main(path) == 0
+    out = capsys.readouterr().out
+    assert "::warning" in out
+
+
+@pytest.mark.parametrize(
+    "entries",
+    [
+        [],
+        [entry("full-only", False, CI_MACHINE)],
+    ],
+    ids=["empty", "no-quick"],
+)
+def test_missing_quick_entry_skips_cleanly(tmp_path, capsys, entries):
+    path = write(tmp_path, entries)
+    assert perf_trend.main(path) == 0
+    assert "skipping" in capsys.readouterr().out
+
+
+def test_unreadable_file_never_fails_ci(tmp_path, capsys):
+    assert perf_trend.main(str(tmp_path / "missing.json")) == 0
+    assert "cannot read" in capsys.readouterr().out

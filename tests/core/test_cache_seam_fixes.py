@@ -1,0 +1,140 @@
+"""Regression tests for the latent bugs fixed on the cache seam.
+
+1. **Duplicate in-flight fill**: two concurrent read-misses on the same
+   key each scheduled an async cache fill — double-counting cache
+   writes and (with versioned backends) bumping the version on a read
+   path.  ``_populate_async`` now dedupes per key, deployment-wide.
+2. **Quota vs cache cap**: per-tenant quotas divided the *live* cache
+   capacity, which can sit above a configured ``cache_cap_mb``; the
+   entitlements then summed past the operator's cap.  Quota arithmetic
+   now divides the clamped ``quota_capacity``.
+"""
+
+from repro.core import OFCPlatform
+from repro.core.config import OFCConfig
+from repro.faas.platform import PlatformConfig
+from repro.faas.records import InvocationRecord, InvocationRequest
+from repro.sim.latency import MB
+from tests.core.conftest import seed_images
+
+
+def build(config=None, node_mb=4096.0):
+    system = OFCPlatform(
+        config=config,
+        platform_config=PlatformConfig(node_memory_mb=node_mb),
+        seed=3,
+    )
+    system.store.create_bucket("inputs")
+    system.store.create_bucket("outputs")
+    system.start()
+    return system
+
+
+def client_on(ofc, node_id, tenant="t0"):
+    invoker = next(
+        i for i in ofc.platform.invokers if i.node_id == node_id
+    )
+    record = InvocationRecord(
+        request=InvocationRequest(function="f", tenant=tenant)
+    )
+    return ofc._make_data_client(invoker, record)
+
+
+# -- satellite 1: duplicate in-flight fill ----------------------------------
+
+
+def test_concurrent_misses_fill_once():
+    ofc = build()
+    # Big enough that the async fill is still moving bytes when the
+    # slower of the two RSDS reads comes back: the misses overlap.
+    seed_images(ofc, n=1, size=8 * MB)
+    c0 = client_on(ofc, "w0")
+    c1 = client_on(ofc, "w1")
+    puts_before = ofc.cluster.stats.puts
+
+    def read(client):
+        obj = yield from client.read("inputs", "img0")
+        return obj
+
+    # Two reads race on the same cold key: both miss (neither fill has
+    # landed when the second checks), but only ONE fill may be queued.
+    p0 = ofc.kernel.process(read(c0))
+    p1 = ofc.kernel.process(read(c1))
+    ofc.kernel.run_until(p0)
+    ofc.kernel.run_until(p1)
+    ofc.kernel.run(until=ofc.kernel.now + 5.0)  # let the fill land
+    assert ofc.rclib_stats.misses == 2
+    assert ofc.rclib_stats.fills_deduped == 1
+    assert ofc.cluster.stats.puts - puts_before == 1
+    cached = ofc.cluster.peek("inputs/img0")
+    assert cached is not None
+    assert cached.version == 1  # a duplicate fill would have bumped it
+
+
+def test_fill_key_released_after_completion():
+    ofc = build()
+    seed_images(ofc, n=1)
+    c0 = client_on(ofc, "w0")
+
+    def read():
+        yield from c0.read("inputs", "img0")
+
+    ofc.kernel.run_until(ofc.kernel.process(read()))
+    ofc.kernel.run(until=ofc.kernel.now + 5.0)
+    assert ofc._inflight_fills == set()  # no leak: later fills proceed
+
+
+def test_fill_key_released_when_cache_full():
+    """A failed fill (no cache room) must still release the key, or the
+    object can never be admitted later."""
+    config = OFCConfig(cache_cap_mb=0.05)  # ~51 kB/node: nothing fits
+    ofc = build(config=config)
+    seed_images(ofc, n=1)
+    c0 = client_on(ofc, "w0")
+
+    def read():
+        yield from c0.read("inputs", "img0")
+
+    ofc.kernel.run_until(ofc.kernel.process(read()))
+    ofc.kernel.run(until=ofc.kernel.now + 5.0)
+    assert ofc._inflight_fills == set()
+
+
+# -- satellite 2: quota arithmetic vs cache_cap_mb --------------------------
+
+
+def test_static_quota_divides_clamped_capacity():
+    """With the live pool above the configured cap, a tenant's static
+    entitlement must come from the cap, not the inflated total."""
+    config = OFCConfig(
+        cache_cap_mb=32.0,
+        tenant_quota_policy="static",
+        tenant_static_fraction=0.5,
+    )
+    ofc = build(config=config)
+    # Inflate the live pool well beyond the 4 x 32 MB cap (resizes can
+    # legitimately exceed the cap: shrinks never drop below what the
+    # backup log holds).
+    def grow():
+        for node in ("w0", "w1", "w2", "w3"):
+            yield from ofc.cluster.scale_up(node, 256 * MB)
+
+    ofc.kernel.run_until(ofc.kernel.process(grow()))
+    assert ofc.cluster.total_capacity > ofc.cluster.quota_capacity
+    assert ofc.cluster.quota_capacity == 4 * 32 * MB
+    limit = ofc.tenancy.limit_for("t0", ofc.cluster.quota_capacity)
+    # Half the pool each: two entitlements must not sum past the cap.
+    assert 2 * limit <= 4 * 32 * MB
+    c0 = client_on(ofc, "w0", tenant="t0")
+    # Pre-fix, _admit divided total_capacity (1 GB+), so a 128 MB
+    # request fit a tenant's "half": twice the operator's whole cap.
+    # Post-fix the admission base is the clamped figure.
+    assert c0._admit(int(limit * 0.9), tenant="t0") is True
+    assert c0._admit(int(2 * limit), tenant="t0") is False
+    assert ofc.tenancy.rejected["t0"] == 1
+
+
+def test_quota_capacity_tracks_total_when_uncapped():
+    ofc = build()  # no cache_cap_mb configured
+    assert ofc.cluster.quota_cap_bytes is None
+    assert ofc.cluster.quota_capacity == ofc.cluster.total_capacity
