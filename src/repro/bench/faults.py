@@ -90,12 +90,13 @@ def _sampler(ofc, points: List[AvailabilityPoint], window_s: float, deadline: fl
         d_hits = hits - prev_hits
         d_total = total - prev_total
         prev_hits, prev_total = hits, total
+        snap = ofc.backend.stats_snapshot()
         points.append(
             AvailabilityPoint(
                 t=ofc.kernel.now,
                 hit_ratio=(d_hits / d_total) if d_total else None,
-                live_servers=len(ofc.cluster.coordinator.live_servers()),
-                under_replicated=len(ofc.cluster.under_replicated_keys),
+                live_servers=snap["live_servers"],
+                under_replicated=snap["under_replicated"],
             )
         )
 
@@ -145,8 +146,14 @@ def run_availability(
         result.completed += sum(1 for r in runtime.records if r.status == "ok")
         result.failed += sum(1 for r in runtime.records if r.status != "ok")
     result.final_hit_ratio = ofc.rclib_stats.hit_ratio
-    result.lost_objects = ofc.cluster.stats.lost_objects
-    result.backups_purged = ofc.cluster.stats.backups_purged
+    if ofc.cluster is not None:
+        result.lost_objects = ofc.cluster.stats.lost_objects
+        result.backups_purged = ofc.cluster.stats.backups_purged
+    else:
+        snap = ofc.backend.stats_snapshot()
+        result.lost_objects = snap.get(
+            "lost_objects", snap.get("objects_lost", 0)
+        )
     result.dirty_final_at_end = count_dirty_finals(ofc)
     if injector is not None:
         result.recovered_objects = injector.stats.recovered_objects
@@ -164,10 +171,9 @@ def count_dirty_finals(ofc) -> int:
     write-back was lost.
     """
     count = 0
-    for server in ofc.cluster.coordinator.servers.values():
-        for obj in server.master_objects():
-            if obj.flags.get("dirty", False) and obj.flags.get("final", False):
-                count += 1
+    for _node, obj in ofc.backend.objects():
+        if obj.flags.get("dirty", False) and obj.flags.get("final", False):
+            count += 1
     return count
 
 

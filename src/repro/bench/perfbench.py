@@ -13,7 +13,9 @@ speed is tracked across PRs the same way the simulated results are:
   ``ml_predict`` (rows/s through the compiled tree walk, with its
   speedup over the recursive reference walk).
 * **macro** — simulated seconds per wall second on the Figure 9/10
-  macro workload (kernel + models + caching, the end-to-end rate).
+  macro workload (kernel + models + caching, the end-to-end rate), plus
+  a chaos-faulted macro cell (crashes + RSDS episodes + the history
+  recorder) so fault-dispatch overhead stays visible on the trajectory.
 * **sweep** — wall seconds for a small Figure 8 sweep, serial vs the
   parallel runner's default fan-out, plus a trainer-heavy macro cell
   timed cold (empty warm-model cache) and warm (cache hit).
@@ -230,6 +232,42 @@ def bench_macro(duration_s: float = 300.0, seed: int = 0) -> Dict[str, float]:
     }
 
 
+def bench_faulted_macro(
+    duration_s: float = 90.0, seed: int = 0
+) -> Dict[str, float]:
+    """Simulated seconds per wall second on a chaos-faulted macro cell.
+
+    Same multi-tenant workload the chaos grid runs (ofc backend, medium
+    intensity: crashes + recovery + RSDS episodes + history recording),
+    so the trajectory shows what fault dispatch and the consistency
+    checker cost relative to the clean macro rate.
+    """
+    from repro.bench.chaos import SETTLE_SLACK_S, ChaosCell, run_chaos_cell
+
+    cell = ChaosCell(
+        backend="ofc",
+        intensity="medium",
+        quota_policy="none",
+        n_tenants=60,
+        mean_interval_s=20.0,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    start = perf_counter()
+    result = run_chaos_cell(cell)
+    wall_s = perf_counter() - start
+    # Lower bound on simulated time: warmup + load + settling window
+    # (the cell may run slightly longer waiting out episode tails).
+    sim_s = cell.warmup_s + duration_s + SETTLE_SLACK_S
+    return {
+        "sim_duration_s": sim_s,
+        "wall_s": wall_s,
+        "sim_s_per_wall_s": sim_s / wall_s,
+        "ops": result.ops,
+        "violations": result.violations_total,
+    }
+
+
 def bench_sweep(
     workers: Optional[int] = None,
     seed: int = 0,
@@ -317,6 +355,7 @@ def run_perf(
     kernel = bench_kernel(n=n, repeats=2 if quick else 3)
     ml = bench_ml(n_rows=800 if quick else 2000, repeats=2 if quick else 3)
     macro = bench_macro(duration_s=120.0 if quick else 300.0)
+    macro_faulted = bench_faulted_macro(duration_s=60.0 if quick else 90.0)
     sweep = bench_sweep(
         workers=workers, macro_cell_s=30.0 if quick else 60.0
     )
@@ -339,6 +378,7 @@ def run_perf(
         "kernel_patterns": kernel,
         "ml": ml,
         "macro": macro,
+        "macro_faulted": macro_faulted,
         "sweep": sweep,
     }
     return entry
@@ -385,6 +425,7 @@ def format_delta(entry: Dict, previous: Optional[Dict]) -> str:
     for key, label in (
         ("kernel_events_per_sec", "kernel sleep"),
         (("macro", "sim_s_per_wall_s"), "macro sim-s/wall-s"),
+        (("macro_faulted", "sim_s_per_wall_s"), "faulted macro sim-s/wall-s"),
     ):
         if isinstance(key, tuple):
             new = entry.get(key[0], {}).get(key[1])
@@ -459,6 +500,13 @@ def format_entry(entry: Dict) -> str:
     rows.append(
         ("macro sim-s per wall-s", f"{macro['sim_s_per_wall_s']:,.1f}")
     )
+    faulted = entry.get("macro_faulted")
+    if faulted:
+        rows.append(
+            ("faulted macro sim-s per wall-s",
+             f"{faulted['sim_s_per_wall_s']:,.1f} "
+             f"({faulted['ops']} ops, {faulted['violations']} violations)"),
+        )
     sweep = entry["sweep"]
     rows.append(
         (f"fig8 sweep serial ({sweep['cells']} cells)",

@@ -17,10 +17,14 @@ This backend models that architecture over the simulated node pool:
   meter prices it at the dedicated rate — the axis on which OFC's
   harvested design wins.
 
-There is no replication: a node crash drops every shard it hosted
-(Faa$T caches are write-through to the backing store, modelled here by
-the proxy's strict-consistency shadow writes + persistor, so losing a
-shard loses no durable data — only hit ratio).
+Shards are mirrored onto a backup node (``OFCConfig.faast_replication``,
+on by default): puts copy to the mirror in parallel, a crash *promotes*
+the mirror to primary, and the repair pass re-creates missing mirrors.
+The chaos harness found the original unreplicated design unsound under
+OFC's write-back data plane: a dirty (write-back pending) object lives
+*only* in its shard until the persistor lands it, so a node crash during
+an RSDS outage destroyed acked writes.  ``faast_replication=False``
+restores the pre-fix backend for regression tests.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.cache.backend import CacheBackend
 from repro.core.config import OFCConfig
 from repro.kvcache.errors import CapacityExceeded, NoSuchKey, ObjectTooLarge
 from repro.kvcache.objects import (
+    BACKUP_WRITE,
     CacheObject,
     LOCAL_READ,
     LOCAL_WRITE,
@@ -60,15 +65,21 @@ class FaaSTStats:
     apps_torn_down: int = 0
     shards_lost: int = 0
     objects_lost: int = 0
+    backup_writes: int = 0
+    shards_promoted: int = 0
+    backups_repaired: int = 0
 
 
 class _Shard:
     """One cachelet: a fixed-size LRU slab pinned to a node."""
 
-    __slots__ = ("node_id", "capacity", "used_bytes", "objects")
+    __slots__ = ("node_id", "backup_node", "capacity", "used_bytes", "objects")
 
-    def __init__(self, node_id: str, capacity: int):
+    def __init__(self, node_id: str, capacity: int,
+                 backup_node: Optional[str] = None):
         self.node_id = node_id
+        #: Mirror host (None = under-replicated until the next repair).
+        self.backup_node = backup_node
         self.capacity = capacity
         self.used_bytes = 0
         #: key -> CacheObject, LRU order (oldest first).
@@ -129,6 +140,11 @@ class FaaSTBackend(CacheBackend):
         self._down: set = set()
         self._node_rr = 0
         self._started = False
+        self._replication = bool(self.config.faast_replication)
+        #: Promotions performed by crash() whose fail-over latency and
+        #: object count recover() still has to account for.
+        self._promotions_pending = 0
+        self._promoted_objects = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -153,17 +169,43 @@ class FaaSTBackend(CacheBackend):
             cache = self._apps[app] = _AppCache(app)
         return cache
 
+    def _pick_backup(self, primary: str) -> Optional[str]:
+        """Deterministic mirror host: round-robin over live nodes other
+        than the primary (None when the primary is the only one up)."""
+        live = [n for n in self._live_nodes() if n != primary]
+        if not live:
+            return None
+        node = live[self._node_rr % len(live)]
+        self._node_rr += 1
+        return node
+
+    def _backup_live(self, shard: _Shard) -> bool:
+        return (
+            shard.backup_node is not None
+            and shard.backup_node not in self._down
+        )
+
     def _add_shard(self, cache: _AppCache) -> Optional[_Shard]:
         node = self._next_node()
         if node is None:
             return None
-        shard = _Shard(node, self.shard_bytes)
+        backup = self._pick_backup(node) if self._replication else None
+        shard = _Shard(node, self.shard_bytes, backup_node=backup)
         cache.shards.append(shard)
         self._sync_cost()
         return shard
 
     def _sync_cost(self) -> None:
-        self.cost.set_memory(dedicated_mb=self.total_capacity / MB)
+        # Mirrored shards reserve their slab on the backup node too.
+        total = self.total_capacity
+        if self._replication:
+            total += sum(
+                s.capacity
+                for c in self._apps.values()
+                for s in c.shards
+                if self._backup_live(s)
+            )
+        self.cost.set_memory(dedicated_mb=total / MB)
 
     def _find(self, key: str) -> Optional[Tuple[_AppCache, _Shard]]:
         for cache in self._apps.values():
@@ -259,9 +301,17 @@ class FaaSTBackend(CacheBackend):
         cache.window_bytes += size
         self.stats.puts += 1
         if shard.node_id == caller:
-            yield self._delay(LOCAL_WRITE, size)
+            primary = self._delay(LOCAL_WRITE, size)
         else:
-            yield self._remote_delay(REMOTE_WRITE, size)
+            primary = self._remote_delay(REMOTE_WRITE, size)
+        if self._replication and self._backup_live(shard):
+            # Mirror in parallel with the primary write: the put acks
+            # once both copies landed.
+            self.stats.backup_writes += 1
+            self.cost.count("backup_ops")
+            yield max(primary, self._remote_delay(BACKUP_WRITE, size))
+        else:
+            yield primary
         return shard.node_id
 
     def get(self, key: str, caller: str) -> Generator[Any, Any, CacheObject]:
@@ -411,16 +461,29 @@ class FaaSTBackend(CacheBackend):
     # -- faults --------------------------------------------------------------
 
     def crash(self, node_id: str) -> None:
-        """Fail-stop a node: every shard it hosts is lost with its
-        contents (no replication; durable data lives in the store)."""
+        """Fail-stop a node.  With replication, shards it hosted fail
+        over to their mirror (promotion is a metadata flip here; the
+        latency lands in :meth:`recover`); without one — or when the
+        mirror is also down — a shard is lost with its contents."""
         self._down.add(node_id)
         for cache in self._apps.values():
-            doomed = [s for s in cache.shards if s.node_id == node_id]
-            for shard in doomed:
-                for key in list(shard.objects):
-                    self._drop_object(cache, shard, key, lost=True)
-                cache.shards.remove(shard)
-                self.stats.shards_lost += 1
+            for shard in list(cache.shards):
+                if shard.node_id == node_id:
+                    if self._replication and self._backup_live(shard):
+                        shard.node_id = shard.backup_node
+                        shard.backup_node = None
+                        self.stats.shards_promoted += 1
+                        self._promotions_pending += 1
+                        self._promoted_objects += len(shard.objects)
+                    else:
+                        for key in list(shard.objects):
+                            self._drop_object(cache, shard, key, lost=True)
+                        cache.shards.remove(shard)
+                        self.stats.shards_lost += 1
+                elif shard.backup_node == node_id:
+                    # The mirror died: primary survives, under-replicated
+                    # until the next repair pass.
+                    shard.backup_node = None
         self._sync_cost()
 
     def restart(self, node_id: str) -> int:
@@ -428,19 +491,41 @@ class FaaSTBackend(CacheBackend):
         return 0
 
     def recover(self, node_id: str) -> Generator[Any, Any, int]:
-        """Re-provision a minimum fleet for apps the crash left bare.
-        Contents are gone — subsequent misses refill from the store."""
+        """Fail-over latency for shards crash() promoted, then a minimum
+        fleet for apps the crash left bare (their contents are gone —
+        subsequent misses refill from the store)."""
         recovered = 0
+        while self._promotions_pending > 0:
+            self._promotions_pending -= 1
+            yield self._delay(CACHE_SCALE_PLAIN)
+        recovered += self._promoted_objects
+        self._promoted_objects = 0
         for app in sorted(self._apps):
             cache = self._apps[app]
             if not cache.shards and self._add_shard(cache) is not None:
                 yield self._delay(CACHE_SCALE_PLAIN)
-                recovered += 1
         return recovered
 
     def repair(self) -> Generator[Any, Any, int]:
-        return 0
-        yield  # pragma: no cover - makes this a generator
+        """Re-create missing mirrors (promotion consumed one, or the
+        backup's node died): copy the shard's contents to a new backup
+        host.  No-op without replication."""
+        repaired = 0
+        if self._replication:
+            for app in sorted(self._apps):
+                for shard in self._apps[app].shards:
+                    if self._backup_live(shard):
+                        continue
+                    backup = self._pick_backup(shard.node_id)
+                    if backup is None:
+                        continue
+                    shard.backup_node = backup
+                    self.stats.backups_repaired += 1
+                    self.cost.count("backup_ops")
+                    yield self._remote_delay(BACKUP_WRITE, shard.used_bytes)
+                    repaired += len(shard.objects)
+            self._sync_cost()
+        return repaired
 
     # -- observability -------------------------------------------------------
 
@@ -449,5 +534,14 @@ class FaaSTBackend(CacheBackend):
         snap["apps"] = len(self._apps)
         snap["shards"] = sum(len(c.shards) for c in self._apps.values())
         snap["live_servers"] = len(self._live_nodes())
-        snap["under_replicated"] = 0
+        snap["under_replicated"] = (
+            sum(
+                1
+                for c in self._apps.values()
+                for s in c.shards
+                if not self._backup_live(s)
+            )
+            if self._replication
+            else 0
+        )
         return snap

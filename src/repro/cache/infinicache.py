@@ -55,6 +55,10 @@ class InfiniCacheStats:
     backups: int = 0
     restores: int = 0
     lost_objects: int = 0
+    #: Dirty (write-back pending) entries kept through a failed warm-up
+    #: instead of being dropped (chaos-harness fix: the old path lost
+    #: acked writes that existed only in the cache).
+    dirty_retained: int = 0
 
 
 class _Sandbox:
@@ -280,6 +284,15 @@ class InfiniCacheBackend(CacheBackend):
         longest = 0.0
         for _ in placement:
             longest = max(longest, self._remote_delay(REMOTE_WRITE, chunk))
+        if obj.flags.get("dirty", False):
+            # Write-back data exists nowhere but this cache until the
+            # persistor lands it: back it up promptly (in parallel with
+            # the chunk spread) instead of waiting for the periodic
+            # loop, so losing chunks below k cannot lose an acked write.
+            self._backup[key] = obj.copy()
+            self.stats.backups += 1
+            self.cost.count("backup_ops")
+            longest = max(longest, self._remote_delay(BACKUP_WRITE, size))
         yield longest
         return placement[0].node_id
 
@@ -390,6 +403,11 @@ class InfiniCacheBackend(CacheBackend):
                     self._spawn(node)
             for key in sorted(affected):
                 yield from self._restore_or_drop(key)
+            # Retry survivors of earlier failed warm-ups (dirty entries
+            # retained while no sandbox had room) now that the pool has
+            # been replenished.
+            for key in sorted(self._degraded - affected):
+                yield from self._restore_or_drop(key)
 
     def _restore_or_drop(self, key: str) -> Generator:
         """Warm-up after chunk loss: re-encode from surviving chunks
@@ -412,6 +430,15 @@ class InfiniCacheBackend(CacheBackend):
             return
         backed = self._backup.get(key)
         if backed is None or backed.version != entry.version:
+            if entry.flags.get("dirty", False):
+                # Never drop write-back data the store has not seen:
+                # keep the entry (unreadable but tracked) and let
+                # recover/repair and the next reclaim tick retry once
+                # sandboxes free up; the persistor still holds the
+                # payload for write-back.
+                self.stats.dirty_retained += 1
+                self._degraded.add(key)
+                return
             self._forget(key, lost=True)
             return
         # Full warm-up from the object store: fetch, re-chunk, spread.
@@ -429,6 +456,9 @@ class InfiniCacheBackend(CacheBackend):
         if placed:
             self.stats.warmups += 1
             self._degraded.discard(key)
+        elif restored.flags.get("dirty", False):
+            self.stats.dirty_retained += 1
+            self._degraded.add(key)
         else:
             self._forget(key, lost=True)
 

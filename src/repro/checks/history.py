@@ -1,0 +1,229 @@
+"""History recorder at the dataclient seam.
+
+The platform hands every invocation a :class:`~repro.faas.dataclient.
+DataClient`; wrapping the factory captures the complete data-plane
+history of a run — every read, write and delete a function body issues,
+with simulated start/ack times, outcome, and the payload *identity*
+(payload objects are descriptor instances that flow by reference
+through the cache, the store and the persistor, so ``is`` comparisons
+across sources are exact where version counters are not: cache versions
+reset when an object is refilled after a crash).
+
+The recorder is pure bookkeeping: it never yields, draws no randomness
+and schedules nothing, so attaching it does not perturb the simulated
+schedule — a run with the recorder is bit-identical to one without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.faas.dataclient import DataClient
+from repro.kvcache.errors import NoSuchKey
+from repro.storage.errors import NoSuchObject, StoreUnavailable
+
+
+@dataclass
+class OpRecord:
+    """One data-plane operation as seen at the dataclient seam."""
+
+    seq: int
+    op: str  # "read" | "write" | "delete"
+    key: str
+    t_start: float
+    t_ack: Optional[float] = None
+    #: "ok", "miss" (NoSuchKey/NoSuchObject), "unavailable"
+    #: (StoreUnavailable), or "error" (anything else).
+    status: str = "ok"
+    error: Optional[str] = None
+    #: Payload object reference (writes: what was written; ok reads:
+    #: what came back).  Identity is the cross-source fingerprint.
+    payload: Any = None
+    size: int = 0
+    #: Version of the returned object (reads; source-relative counter).
+    version: Optional[int] = None
+    #: RSDS metadata version observed at ack (writes; the store counter
+    #: survives crashes/refills, unlike cache versions).
+    store_version: Optional[int] = None
+    #: An ok read whose payload was missing despite a nonzero size —
+    #: the shape of a stale shadow served to a function body.
+    payload_missing: bool = False
+    tenant: str = ""
+    request_id: int = 0
+    pipeline_id: Optional[str] = None
+    final_stage: bool = True
+    intermediate: bool = False
+
+    @property
+    def acked(self) -> bool:
+        return self.status == "ok" and self.t_ack is not None
+
+
+class RecordingDataClient(DataClient):
+    """Wraps a real dataclient, appending an :class:`OpRecord` per op."""
+
+    def __init__(self, inner: DataClient, record, recorder: "HistoryRecorder"):
+        self.inner = inner
+        self.record = record
+        self.recorder = recorder
+
+    def _begin(self, op: str, bucket: str, name: str) -> OpRecord:
+        request = getattr(self.record, "request", None)
+        rec = OpRecord(
+            seq=self.recorder.next_seq(),
+            op=op,
+            key=f"{bucket}/{name}",
+            t_start=self.recorder.kernel.now,
+            tenant=getattr(request, "tenant", "") or "",
+            request_id=getattr(request, "request_id", 0),
+            pipeline_id=getattr(request, "pipeline_id", None),
+            final_stage=getattr(request, "final_stage", True),
+        )
+        self.recorder.ops.append(rec)
+        return rec
+
+    def _fail(self, rec: OpRecord, exc: BaseException) -> None:
+        rec.t_ack = self.recorder.kernel.now
+        rec.error = type(exc).__name__
+        if isinstance(exc, (NoSuchObject, NoSuchKey)):
+            rec.status = "miss"
+        elif isinstance(exc, StoreUnavailable):
+            rec.status = "unavailable"
+        else:
+            rec.status = "error"
+
+    def read(self, bucket: str, name: str) -> Generator:
+        rec = self._begin("read", bucket, name)
+        try:
+            obj = yield from self.inner.read(bucket, name)
+        except BaseException as exc:
+            self._fail(rec, exc)
+            raise
+        rec.t_ack = self.recorder.kernel.now
+        rec.payload = obj.payload
+        rec.size = obj.meta.size
+        rec.version = obj.meta.version
+        rec.payload_missing = obj.payload is None and obj.meta.size > 0
+        return obj
+
+    def write(
+        self,
+        bucket: str,
+        name: str,
+        payload: Any,
+        size: int,
+        content_type: str = "application/octet-stream",
+        user_meta: Optional[Dict[str, Any]] = None,
+        intermediate: bool = False,
+        pipeline_id: Optional[str] = None,
+    ) -> Generator:
+        rec = self._begin("write", bucket, name)
+        rec.payload = payload
+        rec.size = size
+        rec.intermediate = intermediate
+        if pipeline_id is not None:
+            rec.pipeline_id = pipeline_id
+        try:
+            result = yield from self.inner.write(
+                bucket,
+                name,
+                payload,
+                size,
+                content_type=content_type,
+                user_meta=user_meta,
+                intermediate=intermediate,
+                pipeline_id=pipeline_id,
+            )
+        except BaseException as exc:
+            self._fail(rec, exc)
+            raise
+        rec.t_ack = self.recorder.kernel.now
+        store = self.recorder.store
+        if store is not None and store.contains(bucket, name):
+            rec.store_version = store.peek_meta(bucket, name).version
+        return result
+
+    def delete(self, bucket: str, name: str) -> Generator:
+        rec = self._begin("delete", bucket, name)
+        try:
+            result = yield from self.inner.delete(bucket, name)
+        except BaseException as exc:
+            self._fail(rec, exc)
+            raise
+        rec.t_ack = self.recorder.kernel.now
+        return result
+
+
+@dataclass
+class HistorySummary:
+    """The ``checks`` collector payload."""
+
+    attached: int = 1
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    violations_total: int = 0
+    violations: Dict[str, int] = field(default_factory=dict)
+
+
+class HistoryRecorder:
+    """Captures the full dataclient history of one deployment.
+
+    Wraps ``ofc.platform.data_client_factory`` so every invocation's
+    client is a :class:`RecordingDataClient`; registers itself as
+    ``ofc.checks_recorder`` so the platform's always-on ``checks``
+    collector surfaces the op counts and any violations attached after
+    a checker pass.
+    """
+
+    def __init__(self, ofc):
+        self.ofc = ofc
+        self.kernel = ofc.kernel
+        self.store = getattr(ofc, "store", None)
+        self.ops: List[OpRecord] = []
+        #: Filled by the chaos/faults drivers after a checker pass.
+        self.violations: list = []
+        self._seq = 0
+        self._inner_factory = ofc.platform.data_client_factory
+        ofc.platform.data_client_factory = self._make_client
+        ofc.checks_recorder = self
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _make_client(self, invoker, record) -> RecordingDataClient:
+        return RecordingDataClient(
+            self._inner_factory(invoker, record), record, self
+        )
+
+    def detach(self) -> None:
+        """Restore the original factory (recorded history is kept)."""
+        self.ofc.platform.data_client_factory = self._inner_factory
+        if getattr(self.ofc, "checks_recorder", None) is self:
+            self.ofc.checks_recorder = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        summary = HistorySummary(ops=len(self.ops))
+        for op in self.ops:
+            if op.op == "read":
+                summary.reads += 1
+            elif op.op == "write":
+                summary.writes += 1
+            else:
+                summary.deletes += 1
+        for violation in self.violations:
+            name = getattr(violation, "invariant", str(violation))
+            summary.violations[name] = summary.violations.get(name, 0) + 1
+        summary.violations_total = len(self.violations)
+        return {
+            "attached": summary.attached,
+            "ops": summary.ops,
+            "reads": summary.reads,
+            "writes": summary.writes,
+            "deletes": summary.deletes,
+            "violations_total": summary.violations_total,
+            "violations": dict(sorted(summary.violations.items())),
+        }

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli tenants --quick --workers 2
     python -m repro.cli cachewars --quick
     python -m repro.cli faults
+    python -m repro.cli chaos --quick
     python -m repro.cli run --faults examples/faults/crash_restart.json
 
 Each experiment prints the same rows the corresponding paper artifact
@@ -36,9 +37,17 @@ hit-ratio/latency/cost grid to ``--cachewars-out``.
 node crash and restart).  ``run`` drives one deployment under a JSON
 fault schedule (``--faults PATH``, ``--duration S``) and prints the
 availability timeline.
+``chaos`` fuzzes every cache backend with seeded randomized fault
+schedules while a history recorder audits consistency invariants
+(acked-write durability, stale reads, read-your-writes, version
+order); failing cells are ddmin-shrunk and the minimal schedule
+exported as a runnable reproducer under ``examples/faults/``.  The
+grid lands in ``--chaos-out``.
 ``--trace PATH`` enables span tracing for any experiment and writes
 the trace summary to PATH.  A failing experiment prints its traceback
-to stderr and exits 1.
+to stderr and exits 1; ``faults``, ``run`` and ``chaos`` also exit 1
+(table still printed) when the consistency audit finds violations or
+dirty final outputs.
 """
 
 from __future__ import annotations
@@ -49,6 +58,20 @@ import traceback
 from typing import Callable, Dict
 
 from repro.bench.reporting import format_table
+
+
+class ExperimentFailed(Exception):
+    """An experiment completed but its consistency gate failed.
+
+    Carries the rendered table so the output still prints before the
+    process exits nonzero — CI logs show *what* failed, not just that
+    something did.
+    """
+
+    def __init__(self, output: str, reason: str):
+        super().__init__(reason)
+        self.output = output
+        self.reason = reason
 
 
 def _fig2(quick: bool, workers=None) -> str:
@@ -269,7 +292,7 @@ def _faults(quick: bool, workers=None) -> str:
         )
         for r in (baseline, faulted)
     ]
-    return format_table(
+    table = format_table(
         [
             "scenario",
             "ok",
@@ -283,6 +306,16 @@ def _faults(quick: bool, workers=None) -> str:
         rows,
         title="Availability — crash/restart vs baseline",
     )
+    dirty = {
+        r.scenario: r.dirty_final_at_end
+        for r in (baseline, faulted)
+        if r.dirty_final_at_end
+    }
+    if dirty:
+        raise ExperimentFailed(
+            table, f"dirty final outputs after drain: {dirty}"
+        )
+    return table
 
 
 def _run_schedule(quick: bool, faults_path, duration_s: float) -> str:
@@ -315,11 +348,33 @@ def _run_schedule(quick: bool, faults_path, duration_s: float) -> str:
     rows.append(("recovered", result.recovered_objects, "", ""))
     rows.append(("repaired keys", result.repaired_keys, "", ""))
     rows.append(("dirty finals at end", result.dirty_final_at_end, "", ""))
-    return format_table(
+    table = format_table(
         ["t (s)", "hit ratio", "live nodes", "under-replicated"],
         rows,
         title=f"Fault schedule run — {scenario}",
     )
+    if result.dirty_final_at_end:
+        raise ExperimentFailed(
+            table,
+            f"{result.dirty_final_at_end} dirty final outputs after drain",
+        )
+    return table
+
+
+def _chaos(quick: bool, workers, grid_out: str) -> str:
+    from repro.bench.chaos import format_results, run_chaos
+
+    results = run_chaos(quick=quick, workers=workers, grid_out=grid_out)
+    table = format_results(results) + f"\n[grid written to {grid_out}]"
+    total = sum(r.violations_total for r in results)
+    if total:
+        failing = [r.cell_id for r in results if r.violations_total]
+        raise ExperimentFailed(
+            table,
+            f"{total} invariant violations in cells {failing}; "
+            "minimized reproducers under examples/faults/",
+        )
+    return table
 
 
 def _tenants(quick: bool, workers, grid_out: str) -> str:
@@ -397,7 +452,7 @@ def main(argv=None) -> int:
         "experiments",
         nargs="+",
         help="experiment names, 'all', 'list', 'report', 'perf', "
-        "'tenants', 'cachewars', or 'run'",
+        "'tenants', 'cachewars', 'chaos', or 'run'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sample counts"
@@ -433,6 +488,12 @@ def main(argv=None) -> int:
         metavar="PATH",
         default="results/cachewars_grid.json",
         help="output path for the 'cachewars' head-to-head grid JSON",
+    )
+    parser.add_argument(
+        "--chaos-out",
+        metavar="PATH",
+        default="results/chaos_grid.json",
+        help="output path for the 'chaos' fuzzing grid JSON",
     )
     parser.add_argument(
         "--bench-out",
@@ -475,6 +536,7 @@ def main(argv=None) -> int:
         print("perf")
         print("tenants")
         print("cachewars")
+        print("chaos")
         print("run")
         return 0
     names = (
@@ -498,6 +560,7 @@ def main(argv=None) -> int:
                 "perf",
                 "tenants",
                 "cachewars",
+                "chaos",
                 "run",
             ):
                 print(f"unknown experiment: {name}", file=sys.stderr)
@@ -522,10 +585,19 @@ def main(argv=None) -> int:
                             args.quick, args.workers, args.cachewars_out
                         )
                     )
+                elif name == "chaos":
+                    print(_chaos(args.quick, args.workers, args.chaos_out))
                 elif name == "run":
                     print(_run_schedule(args.quick, args.faults, args.duration))
                 else:
                     print(runner(args.quick, workers=args.workers))
+            except ExperimentFailed as failure:
+                print(failure.output)
+                print(
+                    f"experiment failed: {name}: {failure.reason}",
+                    file=sys.stderr,
+                )
+                return 1
             except Exception:
                 # Surface the failure as an unambiguous exit status so
                 # CI smoke steps can gate on this command.

@@ -87,6 +87,12 @@ class OFCConfig:
     #: True: synchronous shadow writes + persistors + webhooks (full
     #: transparency).  False: relaxed mode (lazy write-back only).
     strict_consistency: bool = True
+    #: After exhausting its retry budget during an RSDS outage, the
+    #: persistor requeues itself instead of giving up — acked write-back
+    #: data stays pending (and boostable) until the store recovers.
+    #: False restores the old drop-on-give-up behaviour (the chaos
+    #: harness's pre-fix regression mode).
+    persistor_requeue: bool = True
 
     # -- cache cluster ---------------------------------------------------------------
     replication_factor: int = 2
@@ -100,6 +106,11 @@ class OFCConfig:
     cache_backend: str = "ofc"
 
     # Faa$T backend knobs (arXiv:2104.13869).
+    #: Mirror every shard onto a backup node and promote the mirror on
+    #: a crash (closes the chaos-harness finding that a node crash
+    #: dropped dirty write-back data with the app's shards).  False
+    #: restores the unreplicated pre-fix backend for regression tests.
+    faast_replication: bool = True
     #: Size of one per-application cache shard ("cachelet").
     faast_shard_mb: float = 64.0
     #: Horizontal-scaling ceiling per application.

@@ -141,6 +141,7 @@ class OFCPlatform:
             self.backend,
             rng=persistor_rng,
             on_persisted=self._on_persisted,
+            requeue=self.config.persistor_requeue,
         )
         self.backend.attach(
             platform=self.platform,
@@ -160,6 +161,9 @@ class OFCPlatform:
         if self.config.strict_consistency:
             self.store.register_read_hook(self._read_webhook)
             self.store.register_write_hook(self._write_webhook)
+        #: Attached by :class:`repro.checks.HistoryRecorder`; None in
+        #: ordinary runs (the ``checks`` collector then reports zeros).
+        self.checks_recorder = None
         self.obs = self._build_registry()
         self._started = False
 
@@ -184,7 +188,15 @@ class OFCPlatform:
         )
         registry.register_collector("invokers", self._invoker_snapshot)
         registry.register_collector("tenancy", self.tenancy.snapshot)
+        registry.register_collector("checks", self._checks_snapshot)
         return registry
+
+    def _checks_snapshot(self) -> Dict[str, Any]:
+        """History-checker counters (zeros unless a recorder attached)."""
+        recorder = self.checks_recorder
+        if recorder is None:
+            return {"attached": 0, "ops": 0, "violations_total": 0}
+        return recorder.snapshot()
 
     def _on_object_admitted(self, obj) -> None:
         self.tenancy.on_object_admitted(obj.flags.get("tenant"), obj.size)

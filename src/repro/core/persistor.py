@@ -22,6 +22,10 @@ from repro.storage.object_store import ObjectStore
 RETRY_BASE_DELAY = 0.1
 RETRY_MAX_DELAY = 5.0
 RETRY_MAX_ATTEMPTS = 8
+#: With requeueing on, how many exhausted retry cycles a persistor may
+#: re-enter before giving up terminally (backstop against an RSDS that
+#: never comes back; ~64 cycles is several sim-minutes of outage).
+REQUEUE_MAX_CYCLES = 64
 
 
 @dataclass
@@ -33,6 +37,7 @@ class PersistorStats:
     boosts: int = 0
     retries: int = 0
     gave_up: int = 0
+    requeues: int = 0
 
 
 class PersistorService:
@@ -45,11 +50,18 @@ class PersistorService:
         cluster,  # CacheCluster or any repro.cache CacheBackend
         rng=None,
         on_persisted: Optional[Callable[[str, bool, int], None]] = None,
+        requeue: bool = True,
     ):
         self.kernel = kernel
         self.store = store
         self.cluster = cluster
         self.rng = rng
+        #: After a full retry cycle fails, park and re-enter instead of
+        #: giving up — the completion event stays pending so boosts keep
+        #: blocking until the payload actually lands (chaos-harness
+        #: finding: the give-up path let acked write-back data go stale
+        #: for readers, and lose entirely if the cache copy then died).
+        self.requeue = requeue
         #: Callback ``(key, final, version)`` after a successful persist
         #: (the CacheAgent discards final outputs here, §6.3).
         self.on_persisted = on_persisted
@@ -87,24 +99,40 @@ class PersistorService:
             yield PLATFORM_OVERHEAD.sample(self.rng)
             ok = False
             gave_up = False
-            backoff = RETRY_BASE_DELAY
-            for attempt in range(RETRY_MAX_ATTEMPTS):
-                try:
-                    ok = yield from self._flush_once(
-                        bucket, name, payload, version, size, create_if_missing
-                    )
-                    break
-                except StoreUnavailable:
-                    # Transient RSDS failure: back off and retry.  The
-                    # healthy path takes the break on attempt 0 without
-                    # any extra yields, so no-fault schedules are
-                    # unchanged.
-                    if attempt == RETRY_MAX_ATTEMPTS - 1:
-                        gave_up = True
+            cycles = 0
+            while True:
+                backoff = RETRY_BASE_DELAY
+                gave_up = False
+                for attempt in range(RETRY_MAX_ATTEMPTS):
+                    try:
+                        ok = yield from self._flush_once(
+                            bucket, name, payload, version, size,
+                            create_if_missing,
+                        )
                         break
-                    self.stats.retries += 1
-                    yield backoff
-                    backoff = min(backoff * 2.0, RETRY_MAX_DELAY)
+                    except StoreUnavailable:
+                        # Transient RSDS failure: back off and retry.
+                        # The healthy path takes the break on attempt 0
+                        # without any extra yields, so no-fault
+                        # schedules are unchanged.
+                        if attempt == RETRY_MAX_ATTEMPTS - 1:
+                            gave_up = True
+                            break
+                        self.stats.retries += 1
+                        yield backoff
+                        backoff = min(backoff * 2.0, RETRY_MAX_DELAY)
+                if not gave_up:
+                    break
+                if not self.requeue or cycles >= REQUEUE_MAX_CYCLES:
+                    break
+                # Requeue: park through the outage and start a fresh
+                # retry cycle.  Crucially the ``done`` event stays
+                # pending, so boost() waiters (read webhooks, bypass
+                # reads) keep blocking instead of racing a stale RSDS
+                # copy.
+                cycles += 1
+                self.stats.requeues += 1
+                yield RETRY_MAX_DELAY
             if gave_up:
                 # Leave the cached copy dirty: eviction / agent
                 # write-back re-schedules the persist once the RSDS

@@ -41,6 +41,9 @@ class RcLibStats:
     degraded_writes: int = 0
     bypass_reads: int = 0
     bypass_writes: int = 0
+    #: RSDS reads held for an in-flight persist of the same key (§6.2
+    #: boost, applied explicitly on the proxy's store-read paths).
+    pending_boosts: int = 0
     #: Read-miss fills skipped because the same key already had one in
     #: flight (two concurrent misses must not double-fill the cache).
     fills_deduped: int = 0
@@ -133,10 +136,26 @@ class RcLibClient(DataClient):
         faults = self.cluster.faults
         return faults is not None and faults.bypass_cache
 
+    def _boost_pending(self, key: str) -> Generator[Any, Any, None]:
+        """Hold an RSDS read while a persist of ``key`` is in flight.
+
+        The store's own read webhook cannot cover this: ``store.get``
+        raises :class:`NoSuchObject` *before* hooks run, so a read
+        racing a create-if-missing persist would surface a spurious
+        miss (and a racing shadow-fill, a zero-payload object).
+        """
+        if self.persistor.pending_for(key) is not None:
+            self.stats.pending_boosts += 1
+            yield from self.persistor.boost(key)
+
     def read(self, bucket: str, name: str) -> Generator[Any, Any, StoredObject]:
         if self._bypass_cache:
             self.stats.bypass_reads += 1
-            obj = yield from self.store.get(bucket, name, internal=True)
+            # Bypass reads are *external* to the cache: take the
+            # webhook path (shadow objects are filled from the cache)
+            # after explicitly boosting any pending persist.
+            yield from self._boost_pending(f"{bucket}/{name}")
+            obj = yield from self.store.get(bucket, name, internal=False)
             return obj
         key = f"{bucket}/{name}"
         location = self.cluster.location_of(key)
@@ -162,6 +181,11 @@ class RcLibClient(DataClient):
                     if tenant:
                         tenancy.record_hit(tenant, cached.size)
                 return self._as_stored_object(key, cached)
+        # Miss fallback: if the key's latest version is still being
+        # persisted (cache copy evicted or its node crashed while the
+        # write-back was in flight), wait it out rather than reading a
+        # shadow or stale RSDS copy.
+        yield from self._boost_pending(key)
         obj = yield from self.store.get(bucket, name, internal=True)
         if self._should_cache:
             self.stats.misses += 1
@@ -227,6 +251,9 @@ class RcLibClient(DataClient):
         self.store.ensure_bucket(bucket)
         if self._bypass_cache:
             self.stats.bypass_writes += 1
+            # External write: the webhook invalidates any cached copy,
+            # otherwise a stale cache hit would shadow this update once
+            # the bypass episode ends.
             yield from self.store.put(
                 bucket,
                 name,
@@ -234,7 +261,7 @@ class RcLibClient(DataClient):
                 size,
                 content_type=content_type,
                 user_meta=user_meta,
-                internal=True,
+                internal=False,
             )
             return
         if intermediate:

@@ -14,6 +14,7 @@ from repro.faas.registry import FunctionRegistry, FunctionSpec
 from repro.faas.scheduler import HomeWorkerScheduler, Scheduler
 from repro.sim.kernel import Kernel
 from repro.sim.latency import PLATFORM_OVERHEAD
+from repro.storage.errors import NoSuchObject, StoreUnavailable
 from repro.storage.object_store import ObjectStore
 
 
@@ -181,6 +182,14 @@ class FaaSPlatform:
             except ResourceExhausted:
                 excluded.add(node.node_id)
                 record.retries += 1
+            except (StoreUnavailable, NoSuchObject) as exc:
+                # Data-plane failure (RSDS outage, missing input): the
+                # invocation fails, the platform must not — retrying on
+                # another node cannot help, and letting the exception
+                # escape would tear down the whole driver. Found by the
+                # chaos harness (rsds_outage episodes during load).
+                record.error = f"{type(exc).__name__}: {exc}"
+                break
         if record.status != "ok":
             record.status = "failed"
             record.finished_at = self.kernel.now

@@ -103,6 +103,8 @@ class InvocationRecord:
     retries: int = 0
     oom_kills: int = 0
     status: str = "pending"  # pending | ok | failed
+    #: Why the invocation failed (e.g. a data-plane outage), if it did.
+    error: str = ""
     #: Output object reference(s) produced by the invocation.
     output_refs: list = field(default_factory=list)
 

@@ -1,0 +1,263 @@
+"""Seeded randomized fault fuzzing (the chaos harness generator).
+
+:func:`chaos_schedule` composes the existing episode types — node
+crash/restart pairs, RSDS outages and brown-outs, slow-network windows
+and bypass-cache degraded mode — into valid :class:`FaultSchedule`
+timelines, deterministically from a seed.  Three intensity presets
+control event rates, episode lengths and overlap; a target list biases
+crashes toward data-bearing nodes (shard hosts for the Faa$T backend,
+chunk hosts for InfiniCache), which is where the interesting bugs are.
+
+Design constraints that keep *zero violations* a meaningful verdict:
+
+* at most one node is down at any time, and a minimum gap separates a
+  restart from the next crash — OFC's durability claim is single-fault
+  tolerance (replication factor 2), so concurrent crashes would lose
+  data by design, not by bug;
+* restarts are always paired with their crash, so every generated
+  schedule passes :class:`FaultSchedule` validation;
+* only the "high" preset emits outages longer than the persistor's
+  full retry backoff, exercising the give-up/requeue path.
+
+:func:`shrink_schedule` is a ddmin-style delta debugger over *atomic
+units* (a crash with its paired restart, or a single episode): given a
+failing schedule and a ``still_fails`` predicate it returns a minimal
+reproducer, exported as runnable JSON by the chaos bench.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+#: Weight multiplier for crash targets that currently bear data.
+TARGET_WEIGHT = 3
+
+
+@dataclass(frozen=True)
+class ChaosIntensity:
+    """One preset of the fuzzer's event-rate knobs."""
+
+    name: str
+    #: Poisson mean between crash arrivals (whole cluster).
+    mean_crash_interval_s: float
+    mean_downtime_s: float
+    max_downtime_s: float
+    #: Quiet period after a restart before the next crash may land.
+    min_crash_gap_s: float
+    mean_episode_interval_s: float
+    mean_episode_s: float
+    max_episode_s: float
+    episode_kinds: Tuple[str, ...]
+    #: False: episodes are serialized; True: they may nest/overlap.
+    episode_overlap: bool
+    brownout_scale: float = 4.0
+    slow_network_scale: float = 3.0
+
+
+#: The graded presets the chaos grid sweeps.  "high" episode windows
+#: exceed the persistor's ~11 s retry budget on purpose.
+INTENSITIES: Dict[str, ChaosIntensity] = {
+    "low": ChaosIntensity(
+        name="low",
+        mean_crash_interval_s=70.0,
+        mean_downtime_s=10.0,
+        max_downtime_s=15.0,
+        min_crash_gap_s=25.0,
+        mean_episode_interval_s=45.0,
+        mean_episode_s=8.0,
+        max_episode_s=10.0,
+        episode_kinds=("rsds_brownout", "slow_network"),
+        episode_overlap=False,
+    ),
+    "medium": ChaosIntensity(
+        name="medium",
+        mean_crash_interval_s=50.0,
+        mean_downtime_s=8.0,
+        max_downtime_s=12.0,
+        min_crash_gap_s=20.0,
+        mean_episode_interval_s=25.0,
+        mean_episode_s=8.0,
+        max_episode_s=10.0,
+        episode_kinds=(
+            "rsds_brownout", "slow_network", "rsds_outage", "bypass_cache"
+        ),
+        episode_overlap=False,
+    ),
+    "high": ChaosIntensity(
+        name="high",
+        mean_crash_interval_s=35.0,
+        mean_downtime_s=8.0,
+        max_downtime_s=12.0,
+        min_crash_gap_s=15.0,
+        mean_episode_interval_s=15.0,
+        mean_episode_s=10.0,
+        max_episode_s=25.0,
+        episode_kinds=(
+            "rsds_brownout", "slow_network", "rsds_outage", "bypass_cache"
+        ),
+        episode_overlap=True,
+    ),
+}
+
+
+def chaos_targets(backend) -> List[str]:
+    """Nodes currently bearing cached data for ``backend`` — the
+    backend-aware crash bias (shard hosts on faast, chunk hosts on
+    infinicache, masters on ofc)."""
+    known = set(getattr(backend, "node_ids", ()))
+    return sorted(
+        {node for node, _obj in backend.objects() if node in known}
+    )
+
+
+def _weighted_choice(
+    rng: random.Random, nodes: Sequence[str], targets: Optional[Sequence[str]]
+) -> str:
+    if not targets:
+        return rng.choice(list(nodes))
+    hot = set(targets)
+    pool: List[str] = []
+    for node in nodes:
+        pool.extend([node] * (TARGET_WEIGHT if node in hot else 1))
+    return rng.choice(pool)
+
+
+def chaos_schedule(
+    seed: int,
+    duration_s: float,
+    nodes: Sequence[str],
+    intensity: str = "medium",
+    targets: Optional[Sequence[str]] = None,
+    start_at: float = 0.0,
+) -> FaultSchedule:
+    """Generate a randomized, valid fault schedule from a seed.
+
+    ``start_at`` offsets every event (chaos cells inject after warmup,
+    so schedule times are absolute sim times).  The result is
+    deterministic in ``(seed, duration_s, nodes, intensity, targets,
+    start_at)``.
+    """
+    try:
+        spec = INTENSITIES[intensity]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos intensity {intensity!r} "
+            f"(expected one of {sorted(INTENSITIES)})"
+        ) from None
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    end = start_at + duration_s
+
+    # Crash/restart pairs: one node down at a time, with a quiet gap.
+    if nodes and spec.mean_crash_interval_s > 0:
+        t = start_at + rng.expovariate(1.0 / spec.mean_crash_interval_s)
+        next_allowed = start_at
+        while t < end:
+            at = max(t, next_allowed)
+            if at < end:
+                node = _weighted_choice(rng, nodes, targets)
+                downtime = min(
+                    spec.max_downtime_s,
+                    max(2.0, rng.expovariate(1.0 / spec.mean_downtime_s)),
+                )
+                events.append(FaultEvent(at=at, kind="crash", node=node))
+                events.append(
+                    FaultEvent(at=at + downtime, kind="restart", node=node)
+                )
+                next_allowed = at + downtime + spec.min_crash_gap_s
+            t += rng.expovariate(1.0 / spec.mean_crash_interval_s)
+
+    # Episode stream (independent of node events by design: overlap
+    # between episodes and crash windows is the point of the fuzzer).
+    if spec.mean_episode_interval_s > 0 and spec.episode_kinds:
+        t = start_at + rng.expovariate(1.0 / spec.mean_episode_interval_s)
+        busy_until = start_at
+        while t < end:
+            at = t if spec.episode_overlap else max(t, busy_until)
+            if at < end:
+                kind = rng.choice(list(spec.episode_kinds))
+                length = min(
+                    spec.max_episode_s,
+                    max(2.0, rng.expovariate(1.0 / spec.mean_episode_s)),
+                )
+                scale = 1.0
+                if kind == "rsds_brownout":
+                    scale = spec.brownout_scale
+                elif kind == "slow_network":
+                    scale = spec.slow_network_scale
+                events.append(
+                    FaultEvent(at=at, kind=kind, duration=length, scale=scale)
+                )
+                busy_until = at + length
+            t += rng.expovariate(1.0 / spec.mean_episode_interval_s)
+
+    return FaultSchedule(events)
+
+
+# -- schedule shrinking ------------------------------------------------------
+
+
+def atomic_units(schedule: FaultSchedule) -> List[List[FaultEvent]]:
+    """Split a schedule into removable units: a crash with its paired
+    restart, or one episode.  Removing whole units preserves validity
+    (no orphan restarts, no overlapping crash windows)."""
+    units: List[List[FaultEvent]] = []
+    open_crash: Dict[str, List[FaultEvent]] = {}
+    for event in schedule.events:
+        if event.kind == "crash":
+            unit = [event]
+            open_crash[event.node] = unit
+            units.append(unit)
+        elif event.kind == "restart":
+            unit = open_crash.pop(event.node, None)
+            if unit is None:
+                units.append([event])
+            else:
+                unit.append(event)
+        else:
+            units.append([event])
+    return units
+
+
+def _schedule_of(units: List[List[FaultEvent]]) -> FaultSchedule:
+    return FaultSchedule([event for unit in units for event in unit])
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    still_fails: Callable[[FaultSchedule], bool],
+    max_probes: int = 40,
+) -> FaultSchedule:
+    """ddmin over atomic units: greedily delete chunks of the schedule
+    while ``still_fails`` holds, bounded by ``max_probes`` re-runs.
+
+    Returns the smallest failing schedule found (the input itself if no
+    deletion preserves the failure within the probe budget).
+    """
+    units = atomic_units(schedule)
+    if len(units) <= 1:
+        return _schedule_of(units)
+    probes = 0
+    granularity = 2
+    while len(units) >= 2 and probes < max_probes:
+        chunk = max(1, len(units) // granularity)
+        reduced = False
+        for i in range(0, len(units), chunk):
+            rest = units[:i] + units[i + chunk:]
+            if not rest or probes >= max_probes:
+                continue
+            probes += 1
+            if still_fails(_schedule_of(rest)):
+                units = rest
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(units):
+                break
+            granularity = min(len(units), granularity * 2)
+    return _schedule_of(units)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Generator, Optional
 
-from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.faults.schedule import FaultEvent, FaultSchedule, ScheduleError
 from repro.sim.faults import FaultState
 from repro.sim.kernel import Process
 
@@ -64,6 +64,20 @@ class FaultInjector:
         # (crash/restart/recover/repair for any architecture); plain
         # CacheCluster test rigs fall back to the cluster itself.
         self.backend = getattr(ofc, "backend", None) or ofc.cluster
+        # Reject schedules targeting nodes the deployment does not
+        # have, with the known set in the message (previously this
+        # surfaced as a KeyError deep inside the backend's crash path).
+        known = list(getattr(self.backend, "node_ids", ()) or ())
+        if not known:
+            coordinator = getattr(self.backend, "coordinator", None)
+            known = sorted(getattr(coordinator, "servers", {}) or ())
+        if known:
+            unknown = [n for n in schedule.nodes() if n not in known]
+            if unknown:
+                raise ScheduleError(
+                    f"schedule targets unknown node(s) {unknown}; this "
+                    f"deployment's nodes are {sorted(known)}"
+                )
         ofc.store.faults = self.state
         self.backend.faults = self.state
         # Fault runs stay on the kernel's generic (reference) dispatch

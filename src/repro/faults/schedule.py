@@ -119,6 +119,29 @@ class FaultSchedule:
             event.validate()
         # Stable sort: same-instant events keep their authored order.
         self.events = sorted(self.events, key=lambda e: e.at)
+        # Per-node crash-window discipline: a node must be restarted
+        # before it can crash again, and never restarted while up.
+        # Without this, overlapping windows fail deep inside the
+        # injector (double recovery, repair racing a dead node).
+        crashed_at: Dict[str, float] = {}
+        for event in self.events:
+            if event.kind == "crash":
+                if event.node in crashed_at:
+                    raise ScheduleError(
+                        f"crash at t={event.at}: node {event.node!r} is "
+                        f"already down (crashed at t="
+                        f"{crashed_at[event.node]}) — add a restart "
+                        "before re-crashing it, or target another node"
+                    )
+                crashed_at[event.node] = event.at
+            elif event.kind == "restart":
+                if event.node not in crashed_at:
+                    raise ScheduleError(
+                        f"restart at t={event.at}: node {event.node!r} "
+                        "is not down — pair every restart with a "
+                        "preceding crash of the same node"
+                    )
+                del crashed_at[event.node]
 
     # -- (de)serialization -------------------------------------------------
 

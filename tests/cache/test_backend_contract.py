@@ -364,6 +364,80 @@ def test_fault_injector_end_to_end(backend_name):
         assert obj.value is not None
 
 
+EPISODES = {
+    "rsds_outage": FaultEvent(at=6.0, kind="rsds_outage", duration=10.0),
+    "rsds_brownout": FaultEvent(
+        at=6.0, kind="rsds_brownout", duration=10.0, scale=4.0
+    ),
+    "slow_network": FaultEvent(
+        at=6.0, kind="slow_network", duration=10.0, scale=3.0
+    ),
+}
+
+
+@pytest.mark.parametrize("episode", sorted(EPISODES), ids=sorted(EPISODES))
+def test_episode_survival_keeps_acked_writes(backend_name, episode):
+    """Every backend survives an RSDS outage / brownout / slow-network
+    episode end-to-end: writes acked through the data-client seam while
+    the episode is active must all read back with payload identity."""
+    from repro.storage.errors import StoreUnavailable
+
+    config = _config()
+    config.cache_backend = backend_name
+    system = OFCPlatform(
+        config=config,
+        platform_config=PlatformConfig(
+            node_ids=list(NODES), node_memory_mb=4096
+        ),
+        seed=11,
+    )
+    system.store.create_bucket("inputs")
+    system.store.create_bucket("outputs")
+    system.start()
+    if backend_name == "ofc":
+        for node in NODES:
+            system.backend.cluster.server(node).resize(64 * MB)
+
+    injector = FaultInjector(system, FaultSchedule([EPISODES[episode]]))
+    injector.start()
+    record_stub = type("R", (), {"should_cache": True})()
+    writer_client = system._make_data_client(
+        system.platform.invokers[0], record_stub
+    )
+    acked = {}
+
+    def writer():
+        for i in range(12):
+            payload = f"payload-{i}".encode()
+            try:
+                yield from writer_client.write(
+                    "outputs", f"o{i}", payload, 50_000
+                )
+                acked[f"o{i}"] = payload
+            except StoreUnavailable:
+                pass  # unacked: the platform may legitimately drop it
+            yield 2.0
+
+    system.kernel.run_until(system.kernel.process(writer()))
+    # The cache absorbs all three episode kinds: outage writes skip the
+    # RSDS shadow and buffer write-back, brownouts/slow networks only
+    # degrade latency.  Every write acks.
+    assert len(acked) == 12
+    # Settle well past the episode end and the persistor retry budget.
+    system.kernel.run(until=system.kernel.now + 30.0)
+
+    reader_client = system._make_data_client(
+        system.platform.invokers[1], record_stub
+    )
+    for name in sorted(acked):
+        def check(name=name):
+            obj = yield from reader_client.read("outputs", name)
+            return obj
+
+        obj = system.kernel.run_until(system.kernel.process(check()))
+        assert obj.payload is acked[name], f"acked write {name} lost"
+
+
 # -- observability ----------------------------------------------------------
 
 

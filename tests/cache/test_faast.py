@@ -149,7 +149,10 @@ def test_clean_lru_evicted_under_pressure():
 
 
 def test_crash_drops_shards_and_recover_reprovisions():
-    kernel, backend = build(faast_max_shards_per_app=1)
+    """Pre-fix mode (replication off): a crash loses the shard."""
+    kernel, backend = build(
+        faast_max_shards_per_app=1, faast_replication=False
+    )
 
     def seed():
         yield from backend.put(
@@ -167,8 +170,8 @@ def test_crash_drops_shards_and_recover_reprovisions():
         recovered = yield from backend.recover(victim)
         return recovered
 
-    assert drive(kernel, recover()) == 1  # bare app re-provisioned
-    shard = backend._apps["t1"].shards[0]
+    assert drive(kernel, recover()) == 0  # nothing readable again
+    shard = backend._apps["t1"].shards[0]  # but the bare app got a shard
     assert shard.node_id != victim  # victim still down
 
     def miss():
@@ -178,6 +181,78 @@ def test_crash_drops_shards_and_recover_reprovisions():
         drive(kernel, miss())
     backend.restart(victim)
     assert backend.stats_snapshot()["live_servers"] == len(NODES)
+
+
+def test_crash_promotes_backup_shard():
+    """With replication on, the mirror takes over and no object is
+    lost; repair re-creates the missing mirror."""
+    kernel, backend = build(faast_max_shards_per_app=1)
+
+    def seed():
+        yield from backend.put(
+            "a/k", "v", 1000, caller="w0",
+            flags={"tenant": "t1", "dirty": True},
+        )
+
+    drive(kernel, seed())
+    assert backend.stats.backup_writes == 1
+    victim = backend.location_of("a/k")
+    shard = backend._apps["t1"].shards[0]
+    backup = shard.backup_node
+    assert backup is not None and backup != victim
+
+    backend.crash(victim)
+    assert backend.stats.shards_lost == 0
+    assert backend.stats.objects_lost == 0
+    assert backend.stats.shards_promoted == 1
+    assert backend.location_of("a/k") == backup
+    assert backend.peek("a/k").value == "v"
+    assert backend.stats_snapshot()["under_replicated"] == 1
+
+    def recover_repair():
+        recovered = yield from backend.recover(victim)
+        repaired = yield from backend.repair()
+        return recovered, repaired
+
+    recovered, repaired = drive(kernel, recover_repair())
+    assert recovered == 1  # the promoted object
+    assert repaired == 1  # mirror re-created on a surviving node
+    assert backend.stats_snapshot()["under_replicated"] == 0
+    assert shard.backup_node not in (None, backup and victim)
+
+    def read():
+        obj = yield from backend.get("a/k", caller="w2")
+        return obj
+
+    assert drive(kernel, read()).value == "v"
+    backend.restart(victim)
+    assert backend.stats_snapshot()["live_servers"] == len(NODES)
+
+
+def test_backup_node_death_leaves_primary_and_repair_rehomes():
+    kernel, backend = build(faast_max_shards_per_app=1)
+
+    def seed():
+        yield from backend.put(
+            "a/k", "v", 1000, caller="w0", flags={"tenant": "t1"}
+        )
+
+    drive(kernel, seed())
+    shard = backend._apps["t1"].shards[0]
+    primary, backup = shard.node_id, shard.backup_node
+    backend.crash(backup)
+    # Primary unaffected, but the shard is now under-replicated.
+    assert backend.location_of("a/k") == primary
+    assert shard.backup_node is None
+    assert backend.stats_snapshot()["under_replicated"] == 1
+
+    def repair():
+        return (yield from backend.repair())
+
+    assert drive(kernel, repair()) == 1
+    assert shard.backup_node is not None
+    assert shard.backup_node not in (primary, backup)
+    assert backend.stats_snapshot()["under_replicated"] == 0
 
 
 def test_oversized_for_shard_rejected():

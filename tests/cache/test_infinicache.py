@@ -223,3 +223,79 @@ def test_get_requires_k_live_chunks():
     with pytest.raises(NoSuchKey):
         drive(kernel, read())
     assert backend.stats.misses == 1
+
+
+def test_dirty_put_backed_up_promptly():
+    """Chaos-harness fix: a dirty (write-back) put is backed up to the
+    store area immediately, not on the next periodic backup tick —
+    otherwise losing chunks below k inside the 5 s window loses an
+    acked write."""
+    kernel, backend = build()
+
+    def seed():
+        yield from backend.put(
+            "a/d", "v", 100_000, caller="w0", flags={"dirty": True}
+        )
+
+    drive(kernel, seed())
+    # No backup period has elapsed; the prompt backup already exists.
+    assert backend.stats.backups == 1
+    assert "a/d" in backend._backup
+
+    # Expire every sandbox before the first periodic backup would have
+    # run: the reclaim warm-up restores from the prompt backup.
+    for sandbox in backend._sandboxes:
+        sandbox.lifetime_s = 0.0
+    kernel.run(until=kernel.now + 12.0)
+    assert backend.stats.lost_objects == 0
+    assert backend.stats.warmups >= 1
+
+    def read():
+        obj = yield from backend.get("a/d", caller="w1")
+        return obj
+
+    obj = drive(kernel, read())
+    assert obj.value == "v"
+    assert obj.flags["dirty"] is True
+
+
+def test_dirty_without_backup_retained_not_dropped():
+    """Chaos-harness fix: when chunks fall below k and no usable backup
+    exists, a dirty entry is retained (unreadable but tracked) instead
+    of forgotten — the store has never seen the payload."""
+    kernel, backend = build()
+
+    def seed():
+        yield from backend.put("a/k", "v", 100_000, caller="w0")
+
+    drive(kernel, seed())
+    backend.set_flags("a/k", dirty=True)  # dirtied before any backup tick
+    assert "a/k" not in backend._backup
+    # Two of three nodes down: one live chunk < k=2, no backup.
+    backend.crash("w0")
+    backend.crash("w1")
+
+    def recover():
+        a = yield from backend.recover("w0")
+        b = yield from backend.recover("w1")
+        return a + b
+
+    drive(kernel, recover())
+    assert backend.stats.dirty_retained >= 1
+    assert backend.stats.lost_objects == 0
+    assert "a/k" in backend._entries  # retained, not forgotten
+    assert "a/k" in backend._degraded
+
+    # Once the nodes return, the backup loop copies the retained entry
+    # out and the next reclaim tick warms it back up: readable again.
+    backend.restart("w0")
+    backend.restart("w1")
+    kernel.run(until=kernel.now + 20.0)
+
+    def read():
+        obj = yield from backend.get("a/k", caller="w2")
+        return obj
+
+    obj = drive(kernel, read())
+    assert obj.value == "v"
+    assert backend.stats.lost_objects == 0

@@ -1,0 +1,146 @@
+"""Pure history invariants: synthetic OpRecord timelines, no deployment.
+
+Payload identity is the fingerprint — each test builds distinct payload
+objects and asserts the checker compares them with ``is``, never by
+version counters.
+"""
+
+from repro.checks import OpRecord
+from repro.checks.invariants import check_ops, count_by_invariant
+
+
+def W(seq, t0, t1, payload, key="b/k", store_version=None, pipeline=None):
+    return OpRecord(
+        seq=seq, op="write", key=key, t_start=t0, t_ack=t1,
+        payload=payload, size=100, store_version=store_version,
+        pipeline_id=pipeline,
+    )
+
+
+def R(seq, t0, t1, payload=None, key="b/k", status="ok", size=100,
+      pipeline=None, missing=False):
+    return OpRecord(
+        seq=seq, op="read", key=key, t_start=t0, t_ack=t1, status=status,
+        payload=payload, size=size, payload_missing=missing,
+        pipeline_id=pipeline,
+    )
+
+
+def D(seq, t0, t1, key="b/k"):
+    return OpRecord(seq=seq, op="delete", key=key, t_start=t0, t_ack=t1)
+
+
+def names(violations):
+    return [v.invariant for v in violations]
+
+
+def test_clean_history_has_no_violations():
+    p = object()
+    ops = [W(1, 0.0, 1.0, p), R(2, 2.0, 3.0, payload=p)]
+    assert check_ops(ops) == []
+
+
+def test_stale_read_detected_by_payload_identity():
+    p1, p2 = object(), object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        W(2, 2.0, 3.0, p2),
+        R(3, 4.0, 5.0, payload=p1),  # superseded payload served
+    ]
+    violations = check_ops(ops)
+    assert names(violations) == ["stale-read"]
+    assert violations[0].key == "b/k"
+    assert violations[0].seq == 3
+
+
+def test_concurrent_write_payload_is_admissible():
+    p1, p2 = object(), object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        W(2, 4.0, 6.0, p2),
+        R(3, 4.5, 5.0, payload=p2),  # racing write's payload is legal
+    ]
+    assert check_ops(ops) == []
+
+
+def test_read_racing_delete_is_not_stale():
+    p1 = object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        D(2, 4.0, 6.0),
+        R(3, 4.5, 5.0, payload=object()),  # content undefined mid-delete
+    ]
+    assert check_ops(ops) == []
+
+
+def test_shadow_read_flagged():
+    ops = [R(1, 0.0, 1.0, payload=None, missing=True, size=4096)]
+    assert names(check_ops(ops)) == ["shadow-read"]
+
+
+def test_lost_write_on_miss_after_ack():
+    p1 = object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        R(2, 2.0, 3.0, status="miss"),
+    ]
+    assert names(check_ops(ops)) == ["lost-write"]
+
+
+def test_pipeline_ryw_when_same_pipeline():
+    p1 = object()
+    ops = [
+        W(1, 0.0, 1.0, p1, pipeline="pl-7"),
+        R(2, 2.0, 3.0, status="miss", pipeline="pl-7"),
+    ]
+    assert names(check_ops(ops)) == ["pipeline-ryw"]
+
+
+def test_miss_after_acked_delete_is_legitimate():
+    p1 = object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        D(2, 2.0, 3.0),
+        R(3, 4.0, 5.0, status="miss"),
+    ]
+    assert check_ops(ops) == []
+
+
+def test_version_order_regression_detected():
+    p1, p2 = object(), object()
+    ops = [
+        W(1, 0.0, 1.0, p1, store_version=5),
+        W(2, 2.0, 3.0, p2, store_version=4),  # counter went backwards
+    ]
+    assert names(check_ops(ops)) == ["version-order"]
+
+
+def test_overlapping_writes_may_ack_out_of_order():
+    p1, p2 = object(), object()
+    ops = [
+        W(1, 0.0, 5.0, p1, store_version=5),
+        W(2, 1.0, 6.0, p2, store_version=4),  # overlapped: not a bug
+    ]
+    assert check_ops(ops) == []
+
+
+def test_unavailable_reads_are_not_misses():
+    p1 = object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        R(2, 2.0, 3.0, status="unavailable"),  # outage, not lost data
+    ]
+    assert check_ops(ops) == []
+
+
+def test_count_by_invariant_sorted():
+    p1 = object()
+    ops = [
+        W(1, 0.0, 1.0, p1),
+        R(2, 2.0, 3.0, status="miss"),
+        R(3, 4.0, 5.0, status="miss"),
+        R(4, 6.0, 7.0, payload=None, missing=True, size=10),
+    ]
+    counts = count_by_invariant(check_ops(ops))
+    assert counts == {"lost-write": 2, "shadow-read": 1}
+    assert list(counts) == sorted(counts)

@@ -1,0 +1,155 @@
+"""Chaos generator: determinism, validity discipline, targeting, ddmin."""
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.faults.chaos import (
+    INTENSITIES,
+    TARGET_WEIGHT,
+    atomic_units,
+    chaos_schedule,
+    chaos_targets,
+    shrink_schedule,
+)
+
+NODES = ["w0", "w1", "w2", "w3"]
+
+
+def test_schedule_deterministic_in_seed():
+    a = chaos_schedule(7, 300.0, NODES, intensity="medium")
+    b = chaos_schedule(7, 300.0, NODES, intensity="medium")
+    assert a.to_dict() == b.to_dict()
+    c = chaos_schedule(8, 300.0, NODES, intensity="medium")
+    assert a.to_dict() != c.to_dict()
+
+
+def test_unknown_intensity_rejected():
+    with pytest.raises(ValueError, match="unknown chaos intensity"):
+        chaos_schedule(0, 100.0, NODES, intensity="extreme")
+
+
+@pytest.mark.parametrize("intensity", sorted(INTENSITIES))
+def test_generated_schedules_valid_and_disciplined(intensity):
+    spec = INTENSITIES[intensity]
+    for seed in range(10):
+        # FaultSchedule.__post_init__ validates crash-window pairing;
+        # constructing at all proves validity.
+        schedule = chaos_schedule(seed, 400.0, NODES, intensity=intensity)
+        down = set()
+        last_restart = None
+        for event in schedule:
+            if event.kind == "crash":
+                # Single-failure discipline: never a second node down.
+                assert not down
+                if last_restart is not None:
+                    assert event.at >= last_restart + spec.min_crash_gap_s
+                down.add(event.node)
+            elif event.kind == "restart":
+                assert event.node in down
+                down.discard(event.node)
+                last_restart = event.at
+            else:
+                assert event.kind in spec.episode_kinds
+                assert 0 < event.duration <= spec.max_episode_s
+
+
+def test_low_intensity_stays_under_persistor_budget():
+    # Only "high" may emit outages; low episodes are brownout/slow-net
+    # and short enough that the persistor's retry budget always covers
+    # them — zero violations must be a meaningful verdict at every tier.
+    spec = INTENSITIES["low"]
+    assert "rsds_outage" not in spec.episode_kinds
+    assert spec.max_episode_s < 11.0
+    assert "rsds_outage" in INTENSITIES["high"].episode_kinds
+    assert INTENSITIES["high"].max_episode_s > 12.0
+
+
+def test_start_at_offsets_every_event():
+    schedule = chaos_schedule(3, 200.0, NODES, intensity="high", start_at=500.0)
+    assert len(schedule) > 0
+    for event in schedule:
+        assert 500.0 <= event.at < 700.0
+
+
+def test_targets_bias_crash_selection():
+    hits = {node: 0 for node in NODES}
+    for seed in range(40):
+        schedule = chaos_schedule(
+            seed, 600.0, NODES, intensity="high", targets=["w0"]
+        )
+        for event in schedule:
+            if event.kind == "crash":
+                hits[event.node] += 1
+    total = sum(hits.values())
+    assert total > 0
+    # w0 holds TARGET_WEIGHT of the TARGET_WEIGHT+3 pool slots.
+    expected = TARGET_WEIGHT / (TARGET_WEIGHT + len(NODES) - 1)
+    assert hits["w0"] / total > 0.6 * expected
+    assert hits["w0"] / total > max(hits[n] for n in NODES[1:]) / total
+
+
+def test_chaos_targets_reads_backend_placements():
+    class FakeBackend:
+        node_ids = ["w0", "w1", "w2"]
+
+        def objects(self):
+            obj = object()
+            yield "w2", obj
+            yield "w0", obj
+            yield "external", obj  # not a node: ignored
+
+    assert chaos_targets(FakeBackend()) == ["w0", "w2"]
+
+
+def test_atomic_units_pair_crash_with_restart():
+    schedule = chaos_schedule(5, 400.0, NODES, intensity="medium")
+    units = atomic_units(schedule)
+    assert sum(len(u) for u in units) == len(schedule)
+    for unit in units:
+        kinds = [e.kind for e in unit]
+        if "crash" in kinds:
+            assert kinds == ["crash", "restart"]
+            assert unit[0].node == unit[1].node
+        else:
+            assert len(unit) == 1
+
+
+def test_shrink_converges_to_failing_unit():
+    schedule = chaos_schedule(2, 600.0, NODES, intensity="high")
+    crashes = [e for e in schedule if e.kind == "crash"]
+    assert len(crashes) >= 2  # something to shrink away
+    culprit = crashes[-1].at
+
+    def still_fails(candidate: FaultSchedule) -> bool:
+        return any(
+            e.kind == "crash" and e.at == culprit for e in candidate
+        )
+
+    minimal = shrink_schedule(schedule, still_fails, max_probes=40)
+    assert still_fails(minimal)
+    assert len(minimal) == 2  # the culprit crash + its paired restart
+    assert [e.kind for e in minimal] == ["crash", "restart"]
+
+
+def test_shrink_respects_probe_budget():
+    schedule = chaos_schedule(2, 600.0, NODES, intensity="high")
+    probes = []
+
+    def still_fails(candidate: FaultSchedule) -> bool:
+        probes.append(len(candidate))
+        return True  # everything "fails": worst case for the budget
+
+    shrink_schedule(schedule, still_fails, max_probes=5)
+    assert len(probes) <= 5
+
+
+def test_shrunk_schedules_stay_valid():
+    schedule = chaos_schedule(4, 600.0, NODES, intensity="high")
+
+    def still_fails(candidate: FaultSchedule) -> bool:
+        # Round-trip through validation: an invalid candidate raises.
+        FaultSchedule.from_dict(candidate.to_dict())
+        return len(candidate) >= 2
+
+    minimal = shrink_schedule(schedule, still_fails, max_probes=30)
+    FaultSchedule.from_dict(minimal.to_dict())

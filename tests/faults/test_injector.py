@@ -33,6 +33,19 @@ def drive(kernel, gen):
     return kernel.run_until(kernel.process(gen))
 
 
+def test_unknown_node_rejected_at_construction(ofc):
+    from repro.faults import ScheduleError
+
+    with pytest.raises(ScheduleError, match="unknown node"):
+        FaultInjector(
+            ofc,
+            schedule(
+                FaultEvent(at=1.0, kind="crash", node="w99"),
+                FaultEvent(at=5.0, kind="restart", node="w99"),
+            ),
+        )
+
+
 def test_injector_wires_fault_state(ofc):
     injector = FaultInjector(ofc, schedule())
     assert ofc.store.faults is injector.state

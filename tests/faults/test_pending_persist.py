@@ -163,6 +163,120 @@ def test_recovered_dirty_object_written_back_by_agent():
     assert cached is None or cached.flags["dirty"] is False
 
 
+def test_persistor_requeues_past_retry_budget():
+    """Chaos-harness fix: an outage longer than the in-line retry
+    budget must requeue the flush instead of giving up (the give-up
+    left the acked write as a dirty cache copy one crash away from
+    being lost)."""
+    ofc = make_ofc()
+    client = make_client(ofc)
+    state = FaultState()
+    ofc.store.faults = state
+    ofc.cluster.faults = state
+    write_only(ofc, client)
+    pending = ofc.persistor.pending_for("outputs/o")
+    state.enter_outage()
+
+    def heal():
+        yield 20.0  # longer than the ~11 s exponential-backoff budget
+        state.exit_outage()
+
+    ofc.kernel.process(heal(), name="heal")
+    ofc.kernel.run_until(pending)
+    assert ofc.persistor.stats.requeues >= 1
+    assert ofc.persistor.stats.gave_up == 0
+    assert ofc.persistor.stats.completed == 1
+    meta = ofc.store.peek_meta("outputs", "o")
+    assert meta.rsds_version == meta.version
+
+
+def test_requeue_disabled_restores_pre_fix_give_up():
+    ofc = make_ofc(persistor_requeue=False)
+    client = make_client(ofc)
+    state = FaultState()
+    ofc.store.faults = state
+    ofc.cluster.faults = state
+    write_only(ofc, client)
+    pending = ofc.persistor.pending_for("outputs/o")
+    state.enter_outage()
+
+    def heal():
+        yield 20.0
+        state.exit_outage()
+
+    ofc.kernel.process(heal(), name="heal")
+    ofc.kernel.run_until(pending)
+    # Pre-fix mode: one retry budget, then terminal give-up — even
+    # though the outage heals 9 s later.
+    assert ofc.persistor.stats.gave_up == 1
+    assert ofc.persistor.stats.requeues == 0
+    assert ofc.persistor.stats.completed == 0
+    cached = ofc.cluster.peek("outputs/o")
+    assert cached is not None and cached.flags["dirty"] is True
+
+
+def test_bypass_read_boosts_pending_persist():
+    """Degraded (bypass-cache) reads go straight to the RSDS — they
+    must first boost a pending persist or they read a stale shadow."""
+    ofc = make_ofc()
+    client = make_client(ofc)
+    payload = b"bypass-bytes"
+    write_only(ofc, client, payload=payload)
+    assert ofc.persistor.pending_for("outputs/o") is not None
+    state = FaultState()
+    ofc.cluster.faults = state
+    ofc.store.faults = state
+    state.enter_bypass()
+
+    def reader():
+        obj = yield from client.read("outputs", "o")
+        return obj
+
+    obj = drive(ofc, reader())
+    assert obj.payload == payload
+    assert ofc.rclib_stats.bypass_reads == 1
+    assert ofc.rclib_stats.pending_boosts >= 1
+
+
+def test_bypass_write_invalidates_cached_copy():
+    """A bypass write updates the RSDS behind the cache; the write
+    webhook must drop the now-stale cached copy."""
+    ofc = make_ofc()
+    client = make_client(ofc)
+    old, new = b"old-bytes", b"new-bytes"
+    write_only(ofc, client, payload=old)
+    pending = ofc.persistor.pending_for("outputs/o")
+    ofc.kernel.run_until(pending)  # flush lands; final output discarded
+
+    def warm_read():
+        obj = yield from client.read("outputs", "o")
+        return obj
+
+    # Re-fill the cache from the RSDS so a clean cached copy exists
+    # (the miss fill is asynchronous — give it a beat to land).
+    assert drive(ofc, warm_read()).payload == old
+    ofc.kernel.run(until=ofc.kernel.now + 1.0)
+    assert ofc.cluster.peek("outputs/o") is not None
+    state = FaultState()
+    ofc.cluster.faults = state
+    ofc.store.faults = state
+    state.enter_bypass()
+
+    def writer():
+        yield from client.write("outputs", "o", new, 50_000)
+
+    drive(ofc, writer())
+    assert ofc.rclib_stats.bypass_writes == 1
+    assert ofc.cluster.peek("outputs/o") is None  # stale copy dropped
+    state.exit_bypass()
+
+    def reader():
+        obj = yield from client.read("outputs", "o")
+        return obj
+
+    assert drive(ofc, reader()).payload == new
+
+
 def test_store_unavailable_not_raised_when_no_faults():
     ofc = make_ofc()
     client = make_client(ofc)

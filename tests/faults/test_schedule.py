@@ -74,6 +74,34 @@ def test_from_dict_requires_events_key():
         FaultSchedule.from_dict({"things": []})
 
 
+def test_overlapping_crash_windows_rejected():
+    with pytest.raises(ScheduleError, match="already down"):
+        FaultSchedule(
+            [
+                FaultEvent(at=1.0, kind="crash", node="w1"),
+                FaultEvent(at=2.0, kind="crash", node="w1"),
+                FaultEvent(at=3.0, kind="restart", node="w1"),
+            ]
+        )
+
+
+def test_restart_of_up_node_rejected():
+    with pytest.raises(ScheduleError, match="not down"):
+        FaultSchedule([FaultEvent(at=1.0, kind="restart", node="w1")])
+
+
+def test_crash_after_restart_is_fine():
+    schedule = FaultSchedule(
+        [
+            FaultEvent(at=1.0, kind="crash", node="w1"),
+            FaultEvent(at=5.0, kind="restart", node="w1"),
+            FaultEvent(at=9.0, kind="crash", node="w1"),
+            FaultEvent(at=12.0, kind="restart", node="w1"),
+        ]
+    )
+    assert len(schedule) == 4
+
+
 def test_random_schedule_is_deterministic():
     a = FaultSchedule.random(seed=7, duration_s=600.0, nodes=["w0", "w1"])
     b = FaultSchedule.random(seed=7, duration_s=600.0, nodes=["w0", "w1"])
