@@ -12,52 +12,112 @@ reset when an object is refilled after a crash).
 The recorder is pure bookkeeping: it never yields, draws no randomness
 and schedules nothing, so attaching it does not perturb the simulated
 schedule — a run with the recorder is bit-identical to one without.
+It is also cheap enough to leave on in perf-sensitive chaos cells:
+records are slotted plain objects built by a flattened constructor
+(no dataclass ``__init__`` argument parsing), the request-derived
+fields are resolved once per client instead of once per op, and the
+read/write/delete counters stream into the recorder so a snapshot
+never scans the history.  For long soaks where only the checker's
+*recent* window matters, ``ring_capacity`` bounds the kept history to
+the newest N records (a ``collections.deque`` ring; the ``dropped``
+count is surfaced in the snapshot so truncation is never silent).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional, Union
 
 from repro.faas.dataclient import DataClient
 from repro.kvcache.errors import NoSuchKey
 from repro.storage.errors import NoSuchObject, StoreUnavailable
 
 
-@dataclass
 class OpRecord:
-    """One data-plane operation as seen at the dataclient seam."""
+    """One data-plane operation as seen at the dataclient seam.
 
-    seq: int
-    op: str  # "read" | "write" | "delete"
-    key: str
-    t_start: float
-    t_ack: Optional[float] = None
-    #: "ok", "miss" (NoSuchKey/NoSuchObject), "unavailable"
-    #: (StoreUnavailable), or "error" (anything else).
-    status: str = "ok"
-    error: Optional[str] = None
-    #: Payload object reference (writes: what was written; ok reads:
-    #: what came back).  Identity is the cross-source fingerprint.
-    payload: Any = None
-    size: int = 0
-    #: Version of the returned object (reads; source-relative counter).
-    version: Optional[int] = None
-    #: RSDS metadata version observed at ack (writes; the store counter
-    #: survives crashes/refills, unlike cache versions).
-    store_version: Optional[int] = None
-    #: An ok read whose payload was missing despite a nonzero size —
-    #: the shape of a stale shadow served to a function body.
-    payload_missing: bool = False
-    tenant: str = ""
-    request_id: int = 0
-    pipeline_id: Optional[str] = None
-    final_stage: bool = True
-    intermediate: bool = False
+    A slotted plain class (not a dataclass): chaos cells allocate one
+    per data-plane op, so the record stays as close to a bare struct
+    as Python allows while keeping the keyword constructor.
+    """
+
+    __slots__ = (
+        "seq",
+        "op",  # "read" | "write" | "delete"
+        "key",
+        "t_start",
+        "t_ack",
+        #: "ok", "miss" (NoSuchKey/NoSuchObject), "unavailable"
+        #: (StoreUnavailable), or "error" (anything else).
+        "status",
+        "error",
+        #: Payload object reference (writes: what was written; ok reads:
+        #: what came back).  Identity is the cross-source fingerprint.
+        "payload",
+        "size",
+        #: Version of the returned object (reads; source-relative).
+        "version",
+        #: RSDS metadata version observed at ack (writes; the store
+        #: counter survives crashes/refills, unlike cache versions).
+        "store_version",
+        #: An ok read whose payload was missing despite a nonzero size —
+        #: the shape of a stale shadow served to a function body.
+        "payload_missing",
+        "tenant",
+        "request_id",
+        "pipeline_id",
+        "final_stage",
+        "intermediate",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        op: str,
+        key: str,
+        t_start: float,
+        t_ack: Optional[float] = None,
+        status: str = "ok",
+        error: Optional[str] = None,
+        payload: Any = None,
+        size: int = 0,
+        version: Optional[int] = None,
+        store_version: Optional[int] = None,
+        payload_missing: bool = False,
+        tenant: str = "",
+        request_id: int = 0,
+        pipeline_id: Optional[str] = None,
+        final_stage: bool = True,
+        intermediate: bool = False,
+    ):
+        self.seq = seq
+        self.op = op
+        self.key = key
+        self.t_start = t_start
+        self.t_ack = t_ack
+        self.status = status
+        self.error = error
+        self.payload = payload
+        self.size = size
+        self.version = version
+        self.store_version = store_version
+        self.payload_missing = payload_missing
+        self.tenant = tenant
+        self.request_id = request_id
+        self.pipeline_id = pipeline_id
+        self.final_stage = final_stage
+        self.intermediate = intermediate
 
     @property
     def acked(self) -> bool:
         return self.status == "ok" and self.t_ack is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OpRecord(seq={self.seq}, op={self.op!r}, key={self.key!r}, "
+            f"t_start={self.t_start}, t_ack={self.t_ack}, "
+            f"status={self.status!r})"
+        )
 
 
 class RecordingDataClient(DataClient):
@@ -67,20 +127,45 @@ class RecordingDataClient(DataClient):
         self.inner = inner
         self.record = record
         self.recorder = recorder
+        # The invocation request never changes under a live client, so
+        # resolve its identity fields once instead of per op.
+        request = getattr(record, "request", None)
+        self._tenant = getattr(request, "tenant", "") or ""
+        self._request_id = getattr(request, "request_id", 0)
+        self._pipeline_id = getattr(request, "pipeline_id", None)
+        self._final_stage = getattr(request, "final_stage", True)
 
     def _begin(self, op: str, bucket: str, name: str) -> OpRecord:
-        request = getattr(self.record, "request", None)
-        rec = OpRecord(
-            seq=self.recorder.next_seq(),
-            op=op,
-            key=f"{bucket}/{name}",
-            t_start=self.recorder.kernel.now,
-            tenant=getattr(request, "tenant", "") or "",
-            request_id=getattr(request, "request_id", 0),
-            pipeline_id=getattr(request, "pipeline_id", None),
-            final_stage=getattr(request, "final_stage", True),
-        )
-        self.recorder.ops.append(rec)
+        # Flattened OpRecord construction (the ``Kernel.timeout`` trick):
+        # one allocation plus direct slot stores, skipping the keyword
+        # __init__ on the hottest path in a recorded run.
+        recorder = self.recorder
+        recorder._seq = seq = recorder._seq + 1
+        if op == "read":
+            recorder._reads += 1
+        elif op == "write":
+            recorder._writes += 1
+        else:
+            recorder._deletes += 1
+        rec = OpRecord.__new__(OpRecord)
+        rec.seq = seq
+        rec.op = op
+        rec.key = bucket + "/" + name
+        rec.t_start = recorder.kernel.now
+        rec.t_ack = None
+        rec.status = "ok"
+        rec.error = None
+        rec.payload = None
+        rec.size = 0
+        rec.version = None
+        rec.store_version = None
+        rec.payload_missing = False
+        rec.tenant = self._tenant
+        rec.request_id = self._request_id
+        rec.pipeline_id = self._pipeline_id
+        rec.final_stage = self._final_stage
+        rec.intermediate = False
+        recorder.ops.append(rec)
         return rec
 
     def _fail(self, rec: OpRecord, exc: BaseException) -> None:
@@ -155,19 +240,6 @@ class RecordingDataClient(DataClient):
         return result
 
 
-@dataclass
-class HistorySummary:
-    """The ``checks`` collector payload."""
-
-    attached: int = 1
-    ops: int = 0
-    reads: int = 0
-    writes: int = 0
-    deletes: int = 0
-    violations_total: int = 0
-    violations: Dict[str, int] = field(default_factory=dict)
-
-
 class HistoryRecorder:
     """Captures the full dataclient history of one deployment.
 
@@ -176,19 +248,36 @@ class HistoryRecorder:
     ``ofc.checks_recorder`` so the platform's always-on ``checks``
     collector surfaces the op counts and any violations attached after
     a checker pass.
+
+    ``ring_capacity`` switches the history to a bounded ring: only the
+    newest N records are kept (``ops`` becomes a deque), ``seq`` keeps
+    counting, and ``dropped`` reports how many records the ring shed.
+    The default (None) keeps everything — required by the end-state
+    checker, which audits the full history.
     """
 
-    def __init__(self, ofc):
+    def __init__(self, ofc, ring_capacity: Optional[int] = None):
         self.ofc = ofc
         self.kernel = ofc.kernel
         self.store = getattr(ofc, "store", None)
-        self.ops: List[OpRecord] = []
+        self.ring_capacity = ring_capacity
+        self.ops: Union[List[OpRecord], "deque[OpRecord]"] = (
+            [] if ring_capacity is None else deque(maxlen=ring_capacity)
+        )
         #: Filled by the chaos/faults drivers after a checker pass.
         self.violations: list = []
         self._seq = 0
+        self._reads = 0
+        self._writes = 0
+        self._deletes = 0
         self._inner_factory = ofc.platform.data_client_factory
         ofc.platform.data_client_factory = self._make_client
         ofc.checks_recorder = self
+
+    @property
+    def dropped(self) -> int:
+        """Records shed by the ring (always 0 in unbounded mode)."""
+        return self._seq - len(self.ops)
 
     def next_seq(self) -> int:
         self._seq += 1
@@ -206,24 +295,20 @@ class HistoryRecorder:
             self.ofc.checks_recorder = None
 
     def snapshot(self) -> Dict[str, Any]:
-        summary = HistorySummary(ops=len(self.ops))
-        for op in self.ops:
-            if op.op == "read":
-                summary.reads += 1
-            elif op.op == "write":
-                summary.writes += 1
-            else:
-                summary.deletes += 1
+        """The ``checks`` collector payload (O(1): streamed counters)."""
+        violations: Dict[str, int] = {}
         for violation in self.violations:
             name = getattr(violation, "invariant", str(violation))
-            summary.violations[name] = summary.violations.get(name, 0) + 1
-        summary.violations_total = len(self.violations)
-        return {
-            "attached": summary.attached,
-            "ops": summary.ops,
-            "reads": summary.reads,
-            "writes": summary.writes,
-            "deletes": summary.deletes,
-            "violations_total": summary.violations_total,
-            "violations": dict(sorted(summary.violations.items())),
+            violations[name] = violations.get(name, 0) + 1
+        snap: Dict[str, Any] = {
+            "attached": 1,
+            "ops": self._seq,
+            "reads": self._reads,
+            "writes": self._writes,
+            "deletes": self._deletes,
+            "violations_total": len(self.violations),
+            "violations": dict(sorted(violations.items())),
         }
+        if self.ring_capacity is not None:
+            snap["dropped"] = self.dropped
+        return snap

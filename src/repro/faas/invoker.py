@@ -183,6 +183,16 @@ class Invoker:
         self.keepalive_s = keepalive_s
         self.rng = rng
         self.sandboxes: List[Sandbox] = []
+        #: Creation-ordered sandboxes per function key (a view over
+        #: ``sandboxes``): warm-start lookup scans one function's
+        #: sandboxes instead of the whole node.
+        self._by_function: Dict[str, List[Sandbox]] = {}
+        #: Memoized ``committed_mb``; ``None`` marks it stale.  Every
+        #: mutation of the committed set funnels through ``_notify``
+        #: (create/destroy/resize), which invalidates, and the
+        #: recompute evaluates the exact original expression so the
+        #: float result is bit-identical to an uncached scan.
+        self._committed_cache: Optional[float] = None
         self.cache_reserved_mb = 0.0
         self.slack_mb = 0.0
         #: Optional adaptive keep-alive policy; None = fixed timeout.
@@ -200,7 +210,12 @@ class Invoker:
 
     @property
     def committed_mb(self) -> float:
-        return sum(s.memory_limit_mb for s in self.sandboxes if s.alive)
+        cached = self._committed_cache
+        if cached is None:
+            cached = self._committed_cache = sum(
+                s.memory_limit_mb for s in self.sandboxes if s.alive
+            )
+        return cached
 
     @property
     def available_mb(self) -> float:
@@ -212,8 +227,17 @@ class Invoker:
         )
 
     def _notify(self, event: str, sandbox: Sandbox) -> None:
+        self._committed_cache = None
         for listener in self.listeners:
             listener(event, sandbox)
+
+    def _forget(self, sandbox: Sandbox) -> None:
+        """Drop a sandbox from the node lists (idempotent)."""
+        if sandbox in self.sandboxes:
+            self.sandboxes.remove(sandbox)
+        peers = self._by_function.get(sandbox.function_key)
+        if peers is not None and sandbox in peers:
+            peers.remove(sandbox)
 
     def _make_room(self, needed_mb: float):
         """Try to free ``needed_mb`` of node memory via the hook."""
@@ -227,11 +251,13 @@ class Invoker:
     # -- sandbox management ---------------------------------------------------
 
     def idle_sandboxes(self, function_key: str) -> List[Sandbox]:
-        return [
-            s
-            for s in self.sandboxes
-            if s.alive and s.idle and s.function_key == function_key
-        ]
+        # The per-function view preserves creation order, so this is the
+        # exact subsequence the full-node scan produced (ties in
+        # find_sandbox resolve to the same sandbox).
+        indexed = self._by_function.get(function_key)
+        if not indexed:
+            return []
+        return [s for s in indexed if s.alive and s.idle]
 
     def find_sandbox(
         self, function_key: str, preferred_mb: Optional[float] = None
@@ -263,11 +289,12 @@ class Invoker:
         """
         sandbox = Sandbox(self.node_id, spec.key, memory_mb, self.kernel.now)
         self.sandboxes.append(sandbox)
+        self._by_function.setdefault(spec.key, []).append(sandbox)
         self._notify("created", sandbox)
         if self.available_mb < -_MEM_EPS_MB:
             fits = yield from self._make_room(0.0)
             if not fits:
-                self.sandboxes.remove(sandbox)
+                self._forget(sandbox)
                 sandbox.kill()
                 self._notify("destroyed", sandbox)
                 self.stats.capacity_rejections += 1
@@ -322,8 +349,7 @@ class Invoker:
         if not sandbox.alive:
             return
         sandbox.kill()
-        if sandbox in self.sandboxes:
-            self.sandboxes.remove(sandbox)
+        self._forget(sandbox)
         self.stats.sandboxes_destroyed += 1
         if reaped:
             self.stats.sandboxes_reaped += 1

@@ -80,18 +80,22 @@ class FaultInjector:
                 )
         ofc.store.faults = self.state
         self.backend.faults = self.state
-        # Fault runs stay on the kernel's generic (reference) dispatch
-        # loop until a specialized faulted variant is parity gated — see
-        # repro.sim.fastpath.  The schedules are bit-identical either
-        # way; this keeps the failure path on the most-inspected code.
-        self.kernel.use_generic_dispatch()
+        # Fault-injected kernels run the specialized faulted fast-path
+        # variant: the fault state lives on the components, not the
+        # kernel, and the driver/episode processes are ordinary
+        # processes, so the fused drain + direct-resume chain stays
+        # valid for the whole run (parity-gated in CI like the clean
+        # path; REPRO_SIM_FASTPATH=0 still forces the generic loop).
+        self.kernel.use_faulted_dispatch()
         self.stats = FaultInjectorStats()
         registry = getattr(ofc, "obs", None)
         if registry is not None:
-            try:
-                registry.register_collector("faults", self.snapshot)
-            except ValueError:
-                pass  # a previous injector on this deployment registered
+            # Last writer wins: a second injector on the same
+            # deployment rebinds the collector to its own stats (the
+            # old `except ValueError: pass` left the first injector's
+            # snapshot bound forever, silently discarding the stats of
+            # every injector after it).
+            registry.register_collector("faults", self.snapshot, replace=True)
         self._driver: Optional[Process] = None
 
     # -- lifecycle ---------------------------------------------------------

@@ -12,7 +12,7 @@ the live bytes it relocates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.kvcache.errors import CacheError
 from repro.sim.latency import MB
@@ -27,10 +27,13 @@ class Segment:
     capacity: int = SEGMENT_SIZE
     live: Dict[str, int] = field(default_factory=dict)
     dead_bytes: int = 0
+    #: Running sum of ``live.values()``, maintained by the owning log's
+    #: append/delete (integer arithmetic, so it is exactly the sum).
+    live_total: int = 0
 
     @property
     def live_bytes(self) -> int:
-        return sum(self.live.values())
+        return self.live_total
 
     @property
     def used_bytes(self) -> int:
@@ -68,6 +71,11 @@ class ObjectLog:
         self._head: Segment = self._new_segment()
         self._locations: Dict[str, Segment] = {}
         self.stats = LogStats()
+        #: Running total of live bytes across segments (exact: ints).
+        self._live_total = 0
+        #: Memoized ``footprint_bytes``; ``None`` marks it stale (every
+        #: mutation goes through append/delete/clean, which invalidate).
+        self._footprint_cache: Optional[int] = 0
 
     def _new_segment(self, capacity: int = 0) -> Segment:
         segment = Segment(capacity=capacity or self.segment_size)
@@ -78,7 +86,7 @@ class ObjectLog:
 
     @property
     def live_bytes(self) -> int:
-        return sum(seg.live_bytes for seg in self._segments)
+        return self._live_total
 
     @property
     def footprint_bytes(self) -> int:
@@ -87,9 +95,12 @@ class ObjectLog:
         A never-written (fully empty) segment is only a reservation and
         is not charged against the pool, so an empty log has footprint 0.
         """
-        return sum(
-            seg.capacity for seg in self._segments if seg.used_bytes > 0
-        )
+        cached = self._footprint_cache
+        if cached is None:
+            cached = self._footprint_cache = sum(
+                seg.capacity for seg in self._segments if seg.used_bytes > 0
+            )
+        return cached
 
     @property
     def segment_count(self) -> int:
@@ -121,7 +132,10 @@ class ObjectLog:
         else:
             segment = self._head
         segment.live[key] = size
+        segment.live_total += size
+        self._live_total += size
         self._locations[key] = segment
+        self._footprint_cache = None
         self.stats.appends += 1
 
     def delete(self, key: str) -> int:
@@ -130,7 +144,10 @@ class ObjectLog:
         if segment is None:
             raise CacheError(f"key not in log: {key}")
         size = segment.live.pop(key)
+        segment.live_total -= size
         segment.dead_bytes += size
+        self._live_total -= size
+        self._footprint_cache = None
         self.stats.deletes += 1
         # A fully dead, non-head segment is reclaimed immediately.
         if segment is not self._head and not segment.live:
@@ -162,6 +179,7 @@ class ObjectLog:
                 relocated += size
             if segment in self._segments:
                 self._segments.remove(segment)
+                self._footprint_cache = None
                 self.stats.segments_freed += 1
             freed += 1
         self.stats.cleanings += 1

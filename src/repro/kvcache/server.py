@@ -38,6 +38,9 @@ class CacheServer:
         self.log = ObjectLog()
         self._master: Dict[str, CacheObject] = {}
         self._backup: Dict[str, CacheObject] = {}
+        #: Running sum of backup copy sizes (exact: ints); object sizes
+        #: are immutable, so put/delete/promote keep it in sync.
+        self._backup_bytes = 0
         self.stats = ServerStats()
 
     # -- capacity -----------------------------------------------------------
@@ -57,7 +60,7 @@ class CacheServer:
 
     @property
     def disk_used_bytes(self) -> int:
-        return sum(obj.size for obj in self._backup.values())
+        return self._backup_bytes
 
     def resize(self, capacity: int) -> None:
         """Set the memory pool size; shrinking below the current
@@ -134,7 +137,11 @@ class CacheServer:
         self._check_up()
         if self.disk_used_bytes + obj.size > self.disk_capacity:
             raise CapacityExceeded(f"{self.server_id}: backup disk full")
+        prev = self._backup.get(obj.key)
+        if prev is not None:
+            self._backup_bytes -= prev.size
         self._backup[obj.key] = obj
+        self._backup_bytes += obj.size
         self.stats.backup_puts += 1
 
     def backup_get(self, key: str) -> CacheObject:
@@ -155,7 +162,10 @@ class CacheServer:
 
     def backup_delete(self, key: str) -> Optional[CacheObject]:
         self._check_up()
-        return self._backup.pop(key, None)
+        obj = self._backup.pop(key, None)
+        if obj is not None:
+            self._backup_bytes -= obj.size
+        return obj
 
     def backup_keys(self):
         return list(self._backup.keys())
@@ -167,6 +177,7 @@ class CacheServer:
         self._check_up()
         obj = self.backup_get(key)
         self._backup.pop(key)
+        self._backup_bytes -= obj.size
         self.master_put(obj)
         self.stats.promotions += 1
         return obj

@@ -206,14 +206,18 @@ class MetricsRegistry:
     # -- collectors ------------------------------------------------------
 
     def register_collector(
-        self, name: str, fn: Callable[[], Dict[str, Any]]
+        self, name: str, fn: Callable[[], Dict[str, Any]], replace: bool = False
     ) -> None:
         """Attach a lazy source of ``{metric: value}`` pairs.
 
         The callable runs only when :meth:`snapshot` is taken, so
         bridging an existing stats object costs nothing during a run.
+        ``replace=True`` rebinds an already-registered name (last
+        writer wins) instead of raising — for sources that are
+        legitimately re-created on one deployment, like a second
+        :class:`~repro.faults.injector.FaultInjector`.
         """
-        if name in self._collectors:
+        if name in self._collectors and not replace:
             raise ValueError(f"collector {name!r} already registered")
         self._collectors[name] = fn
 

@@ -2,7 +2,7 @@
 
 This is the kernel-side counterpart of :mod:`repro.ml.compiled`: the
 event-dispatch loop is emitted as Python source once at import time,
-``exec``-compiled, and installed per kernel at construction.  Two
+``exec``-compiled, and installed per kernel at construction.  Three
 specializations over the generic loop:
 
 * the heap/FIFO drain, the ``_TRIGGERED`` delivery arm and the process
@@ -10,17 +10,27 @@ specializations over the generic loop:
   generator ``send`` directly instead of dispatching through
   ``Event._run_callbacks`` → ``Process._resume`` (two frames per event
   saved);
+* **fused callback delivery**: a triggered event whose callback is a
+  plain :meth:`Process._resume` bound method (the overwhelmingly
+  common case — one process blocked on a timeout, an event or another
+  process) delivers by running the generator ``send``/``throw``
+  inline, and list (fan-in) deliveries inline each process-resume
+  element the same way; only foreign callables (condition checks,
+  ``call_later`` arms, user hooks) still dispatch through a call;
 * **direct resume**: when a resumed process yields a positive delay and
   its wake instant is strictly earlier than everything on the heap
   (with the FIFO empty), the loop advances the clock and resumes the
   generator immediately — no heap push/pop, no sequence number.
 
-Both are provably order-preserving, so schedules are bit-identical to
+All are provably order-preserving, so schedules are bit-identical to
 the generic loop (CI runs the bench gate with the fast path forced on
 and off and diffs the exported metrics):
 
 * the fused arms execute the exact statements of the generic loop, in
-  the same order;
+  the same order (the delivery chain mirrors ``Process._resume``
+  statement for statement, including the ``defused`` handshake on the
+  throw path, so a fused failure delivery can never leave an
+  un-defused exception behind);
 * direct resume fires only when the woken process would be the next
   occurrence regardless of its sequence number (strictly earliest wake
   time, empty FIFO), and nothing else can run between the skipped push
@@ -28,21 +38,28 @@ and off and diffs the exported metrics):
   (``_wake`` bookkeeping, ``_target`` reset, heap entry).  Skipping
   the sequence-number mint is safe because sequence numbers only break
   ties between co-resident heap entries and the skipped mint leaves
-  every other mint in the same relative order.
+  every other mint in the same relative order.  In ``run_until`` the
+  delivery chain additionally refuses direct resume while delivering
+  the awaited event itself — the generic loop returns control to the
+  drain right there, and the fast path must stop at the same instant.
 
 Variant selection happens once at kernel construction (the same policy
 :class:`~repro.sim.kernel._TracedProcess` uses): kernels with tracing
 enabled keep the generic loop, because the fused resume would skip the
-per-process span bookkeeping.  Fault tooling calls
-:meth:`~repro.sim.kernel.Kernel.use_generic_dispatch` for the same
-reason — not because the fast path misbehaves under faults (the fault
-state lives on the components, not the kernel), but so fault runs stay
-on the reference loop until a specialized faulted variant is parity
-gated.
+per-process span bookkeeping.  Fault tooling installs the **faulted
+variant** via :meth:`~repro.sim.kernel.Kernel.use_faulted_dispatch`:
+the same generated semantics compiled as a separate unit
+(``<sim-fastpath-faulted>``), so profiles and tracebacks attribute
+failure-path dispatch distinctly and the variant is parity-gated on
+its own.  The fault state lives on the components, not the kernel —
+the injector's driver and episode processes are ordinary processes —
+so fault-injected kernels keep the fused drain and the direct-resume
+chain for the whole run instead of downgrading to the generic loop.
 
 Opt out globally with ``REPRO_SIM_FASTPATH=0`` (or ``set_enabled``),
-which also disables the batched-RNG wiring keyed off
-:func:`rng_batching_enabled` so "off" is the exact pre-fast-path
+which routes every variant (faulted included) through the generic
+loop and also disables the batched-RNG wiring keyed off
+:func:`rng_batching_enabled`, so "off" is the exact pre-fast-path
 system.
 """
 
@@ -165,24 +182,194 @@ while True:
         target.wait(event._cb)
     break"""
 
+#: Fused single-callback delivery: the triggered event's one waiter is
+#: a plain ``Process._resume`` bound method, so deliver by advancing
+#: the generator inline — value on the first send, ``None`` on the
+#: direct-resume continuations, throw (after the ``defused``
+#: handshake) when the event failed.  ``event`` is the delivered
+#: event, ``proc`` the waiter; the sleep path clears ``proc._target``
+#: exactly like ``Process._resume`` does (entering via a delivery the
+#: process always has a live ``_target``).  ``{target_guard}`` keeps
+#: ``run_until`` from sailing past the awaited event's own delivery.
+_DELIVERY_CHAIN = """\
+proc = callbacks.__self__
+kernel._active_process = proc
+send = proc._send
+value = event._value
+exc = event._exception
+while True:
+    try:
+        if exc is None:
+            target = send(value)
+        else:
+            event.defused = True
+            target = proc._throw(exc)
+            exc = None
+    except StopIteration as stop:
+        kernel._active_process = None
+        proc._target = None
+        proc._value = stop.value
+        proc._state = _TRIGGERED
+        ipush(proc)
+        break
+    except Interrupt as interrupt_exc:
+        kernel._active_process = None
+        proc._target = None
+        proc._exception = interrupt_exc
+        proc.defused = False
+        proc._state = _TRIGGERED
+        ipush(proc)
+        break
+    except BaseException as failure:
+        kernel._active_process = None
+        proc._target = None
+        proc._exception = failure
+        proc.defused = False
+        proc._state = _TRIGGERED
+        ipush(proc)
+        break
+    cls = target.__class__
+    if cls is float or cls is int:
+        if target < 0:
+            raise SimulationError(f"negative sleep delay: {{target}}")
+        proc._target = None
+        wake = when + target
+        if wake == when:
+            proc._wake = when
+            ipush(proc)
+            break
+        if not immediate and (not queue or wake < queue[0][0]){limit_guard}{target_guard}:
+            kernel._now = when = wake
+            value = None
+            continue
+        proc._wake = wake
+        heappush(queue, (wake, seqn(), proc))
+        break
+    try:
+        foreign = target.kernel is not kernel
+    except AttributeError:
+        raise SimulationError(
+            f"process {{proc.name!r}} yielded {{target!r}}, "
+            "expected an Event"
+        ) from None
+    if foreign:
+        raise SimulationError("yielded an event from another kernel")
+    proc._target = target
+    if target._state != _PROCESSED:
+        waiters = target.callbacks
+        if waiters is None:
+            target.callbacks = proc._cb
+        elif waiters.__class__ is list:
+            waiters.append(proc._cb)
+        else:
+            target.callbacks = [waiters, proc._cb]
+    else:
+        target.wait(proc._cb)
+    break"""
+
+#: Fused fan-in delivery: each ``Process._resume`` element of a
+#: callback list advances its generator inline — one advance, no
+#: direct-resume continuation (the clock must not move while later
+#: callbacks of the same event are still pending delivery, exactly as
+#: in the generic loop).  Foreign callables dispatch through a call.
+_LIST_DELIVERY = """\
+for callback in callbacks:
+    if callback.__class__ is not _MethodType or callback.__func__ is not _PROC_RESUME:
+        callback(event)
+        continue
+    proc = callback.__self__
+    kernel._active_process = proc
+    exc = event._exception
+    try:
+        if exc is None:
+            target = proc._send(event._value)
+        else:
+            event.defused = True
+            target = proc._throw(exc)
+    except StopIteration as stop:
+        kernel._active_process = None
+        proc._target = None
+        proc._value = stop.value
+        proc._state = _TRIGGERED
+        ipush(proc)
+        continue
+    except Interrupt as interrupt_exc:
+        kernel._active_process = None
+        proc._target = None
+        proc._exception = interrupt_exc
+        proc.defused = False
+        proc._state = _TRIGGERED
+        ipush(proc)
+        continue
+    except BaseException as failure:
+        kernel._active_process = None
+        proc._target = None
+        proc._exception = failure
+        proc.defused = False
+        proc._state = _TRIGGERED
+        ipush(proc)
+        continue
+    cls = target.__class__
+    if cls is float or cls is int:
+        if target < 0:
+            raise SimulationError(f"negative sleep delay: {{target}}")
+        proc._target = None
+        wake = when + target
+        proc._wake = wake
+        if wake == when:
+            ipush(proc)
+        else:
+            heappush(queue, (wake, seqn(), proc))
+        continue
+    try:
+        foreign = target.kernel is not kernel
+    except AttributeError:
+        raise SimulationError(
+            f"process {{proc.name!r}} yielded {{target!r}}, "
+            "expected an Event"
+        ) from None
+    if foreign:
+        raise SimulationError("yielded an event from another kernel")
+    proc._target = target
+    if target._state != _PROCESSED:
+        waiters = target.callbacks
+        if waiters is None:
+            target.callbacks = proc._cb
+        elif waiters.__class__ is list:
+            waiters.append(proc._cb)
+        else:
+            target.callbacks = [waiters, proc._cb]
+    else:
+        target.wait(proc._cb)"""
+
 #: One occurrence: the inlined ``_TRIGGERED`` arm (Event._run_callbacks
-#: without the method call), the ``_PENDING`` arm fused with the resume
-#: chain, and the ``_PROCESSED`` redelivery arm via the method.
+#: without the method call, with process resumes fused through the
+#: delivery chains), the ``_PENDING`` arm fused with the resume chain,
+#: and the ``_PROCESSED`` redelivery arm via the method.  The fused
+#: single-resume branch skips the unhandled-failure tail: a failed
+#: event delivered to a process is defused on the throw path, so the
+#: tail can never raise there.
 _DISPATCH_ARMS = """\
 state = event._state
 if state == _TRIGGERED:
     event._state = _PROCESSED
     callbacks = event.callbacks
-    if callbacks is not None:
+    if callbacks is None:
+        exc = event._exception
+        if exc is not None and not event.defused:
+            raise exc
+    elif callbacks.__class__ is _MethodType and callbacks.__func__ is _PROC_RESUME:
+        event.callbacks = None
+{delivery_chain}
+    else:
         event.callbacks = None
         if callbacks.__class__ is list:
-            for callback in callbacks:
-                callback(event)
+{list_delivery}
         else:
             callbacks(event)
-    exc = event._exception
-    if exc is not None and not event.defused:
-        raise exc
+        exc = event._exception
+        if exc is not None and not event.defused:
+            raise exc
 elif state == _PENDING:
     if not event._started:
         event._started = True
@@ -277,15 +464,27 @@ def _indent(block: str, pad: str) -> str:
     )
 
 
+def _arms(limit_guard: str, target_guard: str) -> str:
+    """The three-state dispatch arms with every chain specialized."""
+    return _DISPATCH_ARMS.format(
+        resume_chain=_indent(
+            _RESUME_CHAIN.format(limit_guard=limit_guard), " " * 8
+        ),
+        delivery_chain=_indent(
+            _DELIVERY_CHAIN.format(
+                limit_guard=limit_guard, target_guard=target_guard
+            ),
+            " " * 8,
+        ),
+        list_delivery=_indent(_LIST_DELIVERY, " " * 12),
+    )
+
+
 def dispatch_source() -> str:
     """The generated module source (exposed for tests/inspection)."""
-    bounded_chain = _RESUME_CHAIN.format(limit_guard=" and wake <= limit")
-    free_chain = _RESUME_CHAIN.format(limit_guard="")
-    run_arms = _DISPATCH_ARMS.format(
-        resume_chain=_indent(bounded_chain, " " * 8)
-    )
-    until_arms = _DISPATCH_ARMS.format(
-        resume_chain=_indent(free_chain, " " * 8)
+    run_arms = _arms(limit_guard=" and wake <= limit", target_guard="")
+    until_arms = _arms(
+        limit_guard="", target_guard=" and event is not target_event"
     )
     run_src = _RUN_TEMPLATE.format(
         heap_arms=_indent(run_arms, " " * 20),
@@ -298,6 +497,15 @@ def dispatch_source() -> str:
 
 
 _FACTORIES: Optional[tuple] = None
+_FAULTED_FACTORIES: Optional[tuple] = None
+
+
+def _compile_variant(source: str, internals: dict, filename: str) -> tuple:
+    namespace = dict(internals)
+    exec(  # noqa: S102 - the source is generated above, not user input
+        compile(source, filename, "exec"), namespace
+    )
+    return (namespace["make_run"], namespace["make_run_until"])
 
 
 def compile_dispatch(kernel_internals: dict) -> None:
@@ -305,25 +513,35 @@ def compile_dispatch(kernel_internals: dict) -> None:
 
     Called once from the bottom of :mod:`repro.sim.kernel`;
     ``kernel_internals`` supplies ``heappush``/``heappop``, the event
-    state constants, ``SimulationError`` and ``Interrupt`` so this
+    state constants, the ``Process._resume`` identity pair used by the
+    fused delivery arms, ``SimulationError`` and ``Interrupt`` so this
     module never imports the kernel (no circular import).
+
+    Two variants compile from the same source: the standard unit
+    (``<sim-fastpath>``) and the faulted unit
+    (``<sim-fastpath-faulted>``) that fault-injected kernels install.
+    Identical semantics — the split exists so failure-path dispatch is
+    attributable (profiles, tracebacks) and parity-gated on its own.
     """
-    global _FACTORIES
-    namespace = dict(kernel_internals)
-    exec(  # noqa: S102 - the source is generated above, not user input
-        compile(dispatch_source(), "<sim-fastpath>", "exec"), namespace
+    global _FACTORIES, _FAULTED_FACTORIES
+    source = dispatch_source()
+    _FACTORIES = _compile_variant(source, kernel_internals, "<sim-fastpath>")
+    _FAULTED_FACTORIES = _compile_variant(
+        source, kernel_internals, "<sim-fastpath-faulted>"
     )
-    _FACTORIES = (namespace["make_run"], namespace["make_run_until"])
 
 
-def make_dispatch(kernel) -> Optional[tuple]:
+def make_dispatch(kernel, faulted: bool = False) -> Optional[tuple]:
     """Specialized ``(run, run_until)`` for ``kernel``, or ``None``.
 
     Variant selection happens here, once per kernel: traced kernels
     (and anything after ``use_generic_dispatch``) stay on the generic
-    loop.
+    loop.  ``faulted=True`` hands out the separately compiled faulted
+    unit — same semantics, distinct code object — for kernels driven
+    by a :class:`~repro.faults.injector.FaultInjector`.
     """
-    if not _ENABLED or _FACTORIES is None or kernel._tracing:
+    factories = _FAULTED_FACTORIES if faulted else _FACTORIES
+    if not _ENABLED or factories is None or kernel._tracing:
         return None
-    make_run, make_run_until = _FACTORIES
+    make_run, make_run_until = factories
     return make_run(kernel), make_run_until(kernel)

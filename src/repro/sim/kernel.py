@@ -553,6 +553,7 @@ class Kernel:
         "_tracing",
         "_fast_run",
         "_fast_run_until",
+        "_dispatch_variant",
     )
 
     def __init__(self):
@@ -579,17 +580,48 @@ class Kernel:
         if dispatch is None:
             self._fast_run = None
             self._fast_run_until = None
+            self._dispatch_variant = "generic"
         else:
             self._fast_run, self._fast_run_until = dispatch
+            self._dispatch_variant = "fast"
 
     def use_generic_dispatch(self) -> None:
         """Route this kernel through the generic (reference) loop.
 
-        Fault tooling calls this so faulted runs stay on the reference
-        dispatch; harmless when the fast path was never installed.
+        The global opt-out (``REPRO_SIM_FASTPATH=0``) and tracing both
+        land here; harmless when the fast path was never installed.
         """
         self._fast_run = None
         self._fast_run_until = None
+        self._dispatch_variant = "generic"
+
+    def use_faulted_dispatch(self) -> None:
+        """Install the faulted fast-path variant on this kernel.
+
+        Fault tooling (:class:`~repro.faults.injector.FaultInjector`)
+        calls this instead of downgrading to the generic loop: the
+        fault state lives on the components, not the kernel, so the
+        fused drain and direct-resume chain stay valid for the whole
+        run.  The variant is the same generated semantics compiled as
+        its own unit (``<sim-fastpath-faulted>``), parity-gated like
+        the standard one.  Falls back to the generic loop when the
+        fast path is globally disabled or this kernel is traced.
+        """
+        dispatch = _fastpath.make_dispatch(self, faulted=True)
+        if dispatch is None:
+            self.use_generic_dispatch()
+        else:
+            self._fast_run, self._fast_run_until = dispatch
+            self._dispatch_variant = "fast-faulted"
+
+    @property
+    def dispatch_variant(self) -> str:
+        """Which dispatch loop this kernel runs.
+
+        ``"fast"`` (generated), ``"fast-faulted"`` (generated, faulted
+        compile unit) or ``"generic"`` (reference loop).
+        """
+        return self._dispatch_variant
 
     @property
     def now(self) -> float:
@@ -908,6 +940,13 @@ _fastpath.compile_dispatch(
         "_TRIGGERED": _TRIGGERED,
         "_PROCESSED": _PROCESSED,
         "_INF": _INF,
+        # The fused delivery arms recognize a plain process-resume
+        # callback by identity: a bound method whose function is
+        # exactly Process._resume (subclass overrides — _TracedProcess
+        # — fail the check and dispatch through the call, preserving
+        # their span bookkeeping).
+        "_MethodType": type(_BOOTSTRAP._run_callbacks),
+        "_PROC_RESUME": Process._resume,
         "SimulationError": SimulationError,
         "Interrupt": Interrupt,
     }

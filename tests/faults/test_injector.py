@@ -54,14 +54,26 @@ def test_injector_wires_fault_state(ofc):
 
 
 def test_faults_collector_registered(ofc):
-    injector = FaultInjector(ofc, schedule())
+    FaultInjector(ofc, schedule())
     collected = ofc.obs.snapshot()["collected"]
     assert "faults" in collected
     assert collected["faults"]["crashes"] == 0
     assert collected["faults"]["rsds_down"] == 0
-    # A second injector on the same deployment must not blow up.
-    FaultInjector(ofc, schedule())
-    assert injector.state is ofc.store.faults or ofc.store.faults is not None
+
+
+def test_second_injector_rebinds_faults_collector(ofc):
+    """Last writer wins: the ``faults`` collector must report the
+    *newest* injector's stats.  The old registration path swallowed the
+    duplicate-name ValueError, leaving the first injector's snapshot
+    bound forever and silently discarding every later injector's
+    counters."""
+    first = FaultInjector(ofc, schedule())
+    second = FaultInjector(ofc, schedule())
+    assert ofc.store.faults is second.state
+    first.stats.crashes = 7
+    second.stats.crashes = 2
+    collected = ofc.obs.snapshot()["collected"]
+    assert collected["faults"]["crashes"] == 2
 
 
 def test_outage_episode_raises_store_unavailable(ofc):

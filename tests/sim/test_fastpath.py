@@ -126,6 +126,113 @@ def test_all_of_any_of_parity(both_kernels):
     _assert_parity(both_kernels, scenario)
 
 
+def test_failed_event_single_waiter_parity(both_kernels):
+    """The fused single-callback arm must deliver failures by throw()."""
+
+    def scenario(k, log):
+        gate = k.event()
+
+        def waiter():
+            try:
+                yield gate
+                log.append((k.now, "unreachable"))
+            except RuntimeError as exc:
+                log.append((k.now, "caught", str(exc)))
+                yield 0.5
+                log.append((k.now, "after"))
+
+        def failer():
+            yield 1.0
+            gate.fail(RuntimeError("boom"))
+
+        k.process(waiter())
+        k.process(failer())
+        k.run()
+
+    _assert_parity(both_kernels, scenario)
+
+
+def test_fan_in_with_failures_parity(both_kernels):
+    """AllOf/AnyOf delivery (the list arm) with failing members."""
+
+    def scenario(k, log):
+        def fail_after(delay):
+            yield delay
+            raise ValueError(f"dead@{delay}")
+
+        def combo():
+            procs = [k.process(fail_after(2.0))]
+            try:
+                yield k.all_of([k.timeout(1.0), procs[0]])
+            except ValueError as exc:
+                log.append((k.now, "allof-failed", str(exc)))
+            first = yield k.any_of([k.timeout(0.5), k.timeout(9.0)])
+            log.append((k.now, "anyof", len(first)))
+
+        def noise():
+            for _ in range(12):
+                yield 0.4
+                log.append((k.now, "n"))
+
+        k.process(combo())
+        k.process(noise())
+        k.run()
+
+    _assert_parity(both_kernels, scenario)
+
+
+def test_late_wait_redelivery_parity(both_kernels):
+    """Waiting on an event that already fired (redelivery scheduling)."""
+
+    def scenario(k, log):
+        gate = k.event()
+
+        def early():
+            value = yield gate
+            log.append((k.now, "early", value))
+
+        def late():
+            yield 3.0  # gate fired at t=1; wait on it afterwards
+            value = yield gate
+            log.append((k.now, "late", value))
+
+        def opener():
+            yield 1.0
+            gate.succeed("open")
+
+        k.process(early())
+        k.process(late())
+        k.process(opener())
+        k.run()
+
+    _assert_parity(both_kernels, scenario)
+
+
+def test_run_until_awaited_event_delivery_parity(both_kernels):
+    """run_until's target guard: delivery to the awaited event must
+    stop the loop at the same instant with identical leftovers."""
+
+    def scenario(k, log):
+        gate = k.event()
+
+        def opener():
+            yield 2.5
+            gate.succeed("done")
+
+        def noise():
+            for _ in range(10):
+                yield 0.7
+                log.append((k.now, "n"))
+
+        k.process(opener())
+        k.process(noise())
+        value = k.run_until(gate)
+        log.append((k.now, "until", value))
+        k.run()  # drain leftovers identically
+
+    _assert_parity(both_kernels, scenario)
+
+
 def test_interrupt_mid_sleep_parity(both_kernels):
     def scenario(k, log):
         def sleeper():
@@ -346,7 +453,10 @@ def test_traced_kernels_fall_back_to_generic():
         fastpath.set_enabled(original)
 
 
-def test_fault_injector_forces_generic_dispatch():
+def test_fault_injector_keeps_faulted_fast_path():
+    """Injecting faults swaps to the faulted codegen variant, not the
+    generic loop (the pre-faulted-variant behavior downgraded every
+    chaos cell to generic dispatch for its whole run)."""
     from repro.core.ofc import OFCPlatform
     from repro.faults.injector import FaultInjector
     from repro.faults.schedule import FaultSchedule
@@ -355,9 +465,88 @@ def test_fault_injector_forces_generic_dispatch():
     try:
         fastpath.set_enabled(True)
         ofc = OFCPlatform(seed=1)
-        assert ofc.kernel._fast_run is not None
+        assert ofc.kernel.dispatch_variant == "fast"
         FaultInjector(ofc, FaultSchedule(events=[]))
+        assert ofc.kernel.dispatch_variant == "fast-faulted"
+        assert ofc.kernel._fast_run is not None
+        assert ofc.kernel._fast_run_until is not None
+    finally:
+        fastpath.set_enabled(original)
+
+
+def test_fault_injector_respects_global_opt_out():
+    """With the fast path globally disabled (REPRO_SIM_FASTPATH=0 /
+    set_enabled(False)), fault injection falls back to the generic loop."""
+    from repro.core.ofc import OFCPlatform
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import FaultSchedule
+
+    original = fastpath.enabled()
+    try:
+        fastpath.set_enabled(False)
+        ofc = OFCPlatform(seed=1)
+        FaultInjector(ofc, FaultSchedule(events=[]))
+        assert ofc.kernel.dispatch_variant == "generic"
         assert ofc.kernel._fast_run is None
+    finally:
+        fastpath.set_enabled(original)
+
+
+def test_faulted_variant_matches_standard_variant():
+    """The faulted compile unit is the same semantics: a seeded mixed
+    scenario (sleeps, events, interrupts, churn) must trace identically
+    across standard fast, faulted fast, and generic dispatch."""
+
+    def scenario(k, log):
+        gate = k.event()
+
+        def waiter(name):
+            value = yield gate
+            log.append((k.now, name, value))
+            yield k.timeout(0.25)
+            log.append((k.now, name, "done"))
+
+        def sleeper():
+            for i in range(8):
+                yield 0.4
+                log.append((k.now, "tick", i))
+
+        def opener():
+            yield 1.1
+            gate.succeed("open")
+
+        def child(n):
+            yield 0.2 * n
+            return n
+
+        def parent():
+            total = 0
+            for n in range(1, 4):
+                total += yield k.process(child(n))
+            log.append((k.now, "total", total))
+
+        for i in range(3):
+            k.process(waiter(f"w{i}"))
+        k.process(sleeper())
+        k.process(opener())
+        k.process(parent())
+        k.run()
+
+    original = fastpath.enabled()
+    try:
+        fastpath.set_enabled(True)
+        traces = []
+        for setup in (
+            lambda k: None,
+            lambda k: k.use_faulted_dispatch(),
+            lambda k: k.use_generic_dispatch(),
+        ):
+            k = Kernel()
+            setup(k)
+            log = []
+            scenario(k, log)
+            traces.append((log, k.now))
+        assert traces[0] == traces[1] == traces[2]
     finally:
         fastpath.set_enabled(original)
 
